@@ -1,0 +1,101 @@
+/// Ablation: AWE reduced-order evaluation vs the full complex-MNA AC
+/// sweep, on a sized opamp's open-loop response. ASTRX/OBLX ran AWE
+/// inside its annealing loop precisely for this speed/accuracy tradeoff;
+/// this bench quantifies it on our substrate.
+///
+/// Output: DC gain / UGF from each method, relative error, and timing.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/estimator/opamp.h"
+#include "src/spice/analysis.h"
+#include "src/spice/measure.h"
+#include "src/spice/parser.h"
+#include "src/spice/devices.h"
+#include "src/synth/awe.h"
+
+using namespace ape;
+using namespace ape::est;
+
+int main() {
+  const Process proc = Process::default_1u2();
+  const OpAmpEstimator oe(proc);
+  OpAmpSpec spec;
+  spec.gain = 200;
+  spec.ugf_hz = 5e6;
+  spec.ibias = 10e-6;
+  spec.cload = 10e-12;
+  const OpAmpDesign d = oe.estimate(spec);
+  const Testbench tb = d.testbench(proc, OpAmpTb::OpenLoop);
+
+  spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+  (void)spice::dc_operating_point(ckt);
+
+  // The open-loop testbench biases through a huge inductor + capacitor;
+  // exclude them from the AWE linearization so the s = 0 expansion sees
+  // the open loop (the AC sweep is immune - the loop is already open at
+  // every swept frequency).
+  std::vector<std::string> bias_trick;
+  for (const auto& dev : ckt.devices()) {
+    if (const auto* l = dynamic_cast<const spice::Inductor*>(dev.get())) {
+      if (l->inductance() >= 1.0) bias_trick.push_back(l->name());
+    }
+    if (const auto* c = dynamic_cast<const spice::Capacitor*>(dev.get())) {
+      if (c->capacitance() >= 0.1) bias_trick.push_back(c->name());
+    }
+  }
+
+  // Reference: full AC sweep.
+  const auto t0 = std::chrono::steady_clock::now();
+  const int kReps = 50;
+  double ref_gain = 0.0, ref_ugf = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto ac = spice::ac_analysis(ckt, 1.0, 1e9, 20);
+    const spice::Bode bode(ac, ckt.find_node("out"));
+    ref_gain = bode.dc_gain();
+    ref_ugf = bode.unity_gain_freq().value_or(0.0);
+  }
+  const double t_ac =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      kReps;
+
+  std::printf("Ablation: AWE model order vs full AC sweep (opamp open loop)\n\n");
+  std::printf("full AC sweep : gain=%.1f  UGF=%.3f MHz  time=%.3f ms (reference)\n\n",
+              ref_gain, ref_ugf / 1e6, t_ac * 1e3);
+  std::printf("%-6s | %10s %10s | %9s %9s | %9s %8s\n", "order", "gain",
+              "UGF(MHz)", "gain err", "UGF err", "time(ms)", "speed-up");
+  bench::rule(80);
+
+  for (int q = 1; q <= 6; ++q) {
+    try {
+      const auto t1 = std::chrono::steady_clock::now();
+      synth::AweModel model;
+      for (int rep = 0; rep < kReps; ++rep) {
+        model = synth::awe_reduce(ckt, "out", q, bias_trick, {{"vm", 1.0}});
+      }
+      const double t_awe =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+              .count() /
+          kReps;
+      const double gain = std::fabs(model.dc_gain());
+      const double ugf = model.unity_gain_freq();
+      std::printf("q = %-2d | %10.1f %10.3f | %8.2f%% %8.2f%% | %9.4f %7.1fx\n",
+                  q, gain, ugf / 1e6,
+                  ref_gain != 0.0 ? 100.0 * (gain - ref_gain) / ref_gain : 0.0,
+                  ref_ugf != 0.0 ? 100.0 * (ugf - ref_ugf) / ref_ugf : 0.0,
+                  t_awe * 1e3, t_ac / std::max(t_awe, 1e-12));
+    } catch (const std::exception& e) {
+      std::printf("q = %-2d | FAILED: %s\n", q, e.what());
+    }
+  }
+  bench::rule(80);
+  std::printf(
+      "\nExpected shape: q=1 nails the DC gain and the dominant pole (UGF\n"
+      "within a few %%); q=2-4 converge on the full sweep at a fraction of\n"
+      "its cost - the economics that made AWE viable inside annealing.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Ablation: how wide should the APE-seeded search intervals be?
+/// The paper fixes +/-20%; this sweep shows the tradeoff the choice sits
+/// on - too narrow leaves no room to absorb estimator error, too wide
+/// reintroduces the blind-search failure modes.
+///
+/// Usage: bench_ablation_intervals [iterations]  (default 6000)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/synth/astrx.h"
+
+using namespace ape;
+using namespace ape::bench;
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 6000;
+  const est::Process proc = est::Process::default_1u2();
+  const auto all = table1_specs();
+  // Three representative rows: buffered Wilson, high-UGF mirror, high-current.
+  const std::vector<PaperOpAmpRow> rows = {all[0], all[3], all[4]};
+  const double fracs[] = {0.05, 0.1, 0.2, 0.5, 1.0};
+
+  std::printf("Ablation: APE-seed interval width vs synthesis outcome (%d iters)\n\n",
+              iters);
+  std::printf("%-4s %-9s | %9s %8s %9s %8s | %s\n", "ckt", "interval",
+              "sim Gain", "sim UGF", "area um2", "cost", "Comments");
+  rule(90);
+  for (const auto& row : rows) {
+    for (double f : fracs) {
+      synth::SynthesisOptions opts;
+      opts.use_ape_seed = true;
+      opts.interval_frac = f;
+      opts.anneal.iterations = iters;
+      opts.anneal.seed = 0x77;
+      const auto r = synth::synthesize_opamp(proc, to_spec(row), opts);
+      std::printf("%-4s +/-%5.0f%% | %9.1f %8s %9.1f %8.3f | %s\n", row.name,
+                  100.0 * f, r.sim.gain, opt_str(r.sim.ugf_hz, 1e-6).c_str(),
+                  r.design.perf.gate_area * 1e12, r.cost, r.comment.c_str());
+    }
+    rule(90);
+  }
+  std::printf(
+      "\nExpected shape: very narrow intervals inherit any APE bias verbatim;\n"
+      "+/-20%% reliably repairs it; very wide intervals start behaving like\n"
+      "Table 1's blind runs (worse costs / occasional misses).\n");
+  return 0;
+}

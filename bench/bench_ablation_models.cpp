@@ -1,0 +1,78 @@
+/// Ablation: device-model level vs estimation accuracy. The paper states
+/// "the sizing accuracy is directly dependent on the transistor model
+/// used" and supports LEVEL 1/2/3. This bench sizes the Table 3 opamps
+/// against the LEVEL 1 card and against the LEVEL 3 card (mobility
+/// degradation + velocity saturation + DIBL) and compares each
+/// estimate's error against its own simulation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/estimator/opamp.h"
+#include "src/estimator/verify.h"
+
+using namespace ape;
+using namespace ape::est;
+
+namespace {
+
+double pct_err(double est, double sim) {
+  if (sim == 0.0) return 0.0;
+  return 100.0 * (est - sim) / sim;
+}
+
+void run(const char* label, const Process& proc) {
+  const OpAmpEstimator oe(proc);
+  struct Row {
+    const char* name;
+    OpAmpSpec spec;
+  };
+  std::vector<Row> rows = {
+      {"OpAmp1", {200, 1.3e6, 1e-6, 10e-12, CurrentSourceKind::Wilson, true, 1e3, 0}},
+      {"OpAmp2", {70, 3.0e6, 2e-6, 10e-12, CurrentSourceKind::Wilson, true, 1e3, 0}},
+      {"OpAmp3", {100, 2.5e6, 1.5e-6, 10e-12, CurrentSourceKind::Wilson, true, 2e3, 0}},
+      {"OpAmp4", {250, 8.0e6, 1e-6, 10e-12, CurrentSourceKind::Mirror, false, 0, 0}},
+  };
+  std::printf("%s\n", label);
+  std::printf("%-7s | %9s %9s %9s %9s  (est-sim)/sim in %%\n", "circuit",
+              "power", "UGF", "Itail", "gain");
+  bench::rule(70);
+  double worst = 0.0;
+  for (const auto& row : rows) {
+    try {
+      const OpAmpDesign d = oe.estimate(row.spec);
+      const OpAmpSimReport r = simulate_opamp(d, proc, /*with_transient=*/false);
+      const double e_p = pct_err(d.perf.dc_power, r.power);
+      const double e_u = pct_err(d.perf.ugf_hz, r.ugf_hz.value_or(0.0));
+      const double e_i = pct_err(d.perf.ibias, r.ibias);
+      const double e_g = pct_err(d.perf.gain, r.gain);
+      for (double e : {e_p, e_u, e_i, e_g}) worst = std::max(worst, std::fabs(e));
+      std::printf("%-7s | %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", row.name, e_p,
+                  e_u, e_i, e_g);
+    } catch (const std::exception& e) {
+      std::printf("%-7s | FAILED: %s\n", row.name, e.what());
+    }
+  }
+  bench::rule(70);
+  std::printf("worst |error|: %.1f%%\n\n", worst);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: estimation accuracy by SPICE model level\n");
+  std::printf("(each estimate is compared against a simulation that uses the SAME\n"
+              " model card - errors isolate the estimator's composition equations)\n\n");
+  run("LEVEL 1 (Shichman-Hodges)", Process::default_1u2());
+  run("LEVEL 3 (theta/vmax/eta short-channel corrections)",
+      Process::default_1u2_level3());
+  run("LEVEL 4 (simplified BSIM1: vfb/k1/u0v/u1)", Process::default_1u2_bsim());
+  std::printf(
+      "Expected shape: LEVEL 1 stays within ~15%% across the board. LEVEL 3's\n"
+      "short-channel terms (theta/vmax/eta) break the square-law composition\n"
+      "assumptions harder - bias-sensitive quantities can miss badly on\n"
+      "aggressive corners. That asymmetry is the paper's point: \"the sizing\n"
+      "accuracy is directly dependent on the transistor model used\".\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Ablation: closed-form LEVEL 1 seed vs the numeric model refinement in
+/// the transistor estimator. The paper's eq. (2) inversion
+/// (W/L = gm^2 / 2 KP Id) is exact only for an ideal square-law device;
+/// APE's sizing loop refines against the full card. This bench measures
+/// the gm error of the bare seed on each model level - the accuracy the
+/// refinement buys.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/estimator/transistor.h"
+
+using namespace ape;
+using namespace ape::est;
+
+namespace {
+
+void run(const char* label, const Process& proc) {
+  const TransistorEstimator xe(proc);
+  std::printf("%s\n", label);
+  std::printf("%10s %10s | %10s %10s | %9s\n", "gm (uS)", "Id (uA)",
+              "seed err", "refined", "L chosen");
+  bench::rule(64);
+  double worst_seed = 0.0, worst_ref = 0.0;
+  const double cases[][2] = {{20e-6, 2e-6},   {100e-6, 10e-6},
+                             {400e-6, 50e-6}, {1e-3, 200e-6}};
+  for (const auto& c : cases) {
+    const double gm = c[0], id = c[1];
+    // Bare closed-form seed (the paper's eq. 2), evaluated on the card.
+    const auto& card = proc.nmos;
+    const double l = 2.0 * proc.lmin;
+    const double kp = card.kp > 0.0 ? card.kp : card.muz * 1e-4 * card.cox();
+    const double w_seed =
+        std::max(gm * gm / (2.0 * kp * id) * card.leff(l), proc.wmin);
+    const double vgs = xe.vgs_for_id(spice::MosType::Nmos, w_seed, l, id, 2.5);
+    const double gm_seed = spice::mos_eval(card, vgs, 2.5, 0.0, w_seed, l).gm;
+    const double err_seed = 100.0 * (gm_seed - gm) / gm;
+
+    // Full estimator (seed + refinement).
+    const TransistorDesign d = xe.size_for_gm_id(spice::MosType::Nmos, gm, id);
+    const double gm_ref = spice::mos_eval(card, d.vgs, d.vds, d.vbs, d.w, d.l).gm;
+    const double err_ref = 100.0 * (gm_ref - gm) / gm;
+
+    worst_seed = std::max(worst_seed, std::fabs(err_seed));
+    worst_ref = std::max(worst_ref, std::fabs(err_ref));
+    std::printf("%10.1f %10.1f | %9.2f%% %9.3f%% | %7.2fum\n", gm * 1e6,
+                id * 1e6, err_seed, err_ref, d.l * 1e6);
+  }
+  bench::rule(64);
+  std::printf("worst |gm error|: seed %.2f%%, refined %.3f%%\n\n", worst_seed,
+              worst_ref);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: closed-form sizing seed vs numeric model refinement\n\n");
+  run("LEVEL 1 (seed model == simulation model)", Process::default_1u2());
+  run("LEVEL 3 (mobility degradation breaks the seed)",
+      Process::default_1u2_level3());
+  run("LEVEL 4 / BSIM (body factor + U0V break the seed)",
+      Process::default_1u2_bsim());
+  std::printf(
+      "Expected shape: on LEVEL 1 the seed is already near-exact; on\n"
+      "LEVEL 3/4 the bare eq.-2 inversion misses gm by tens of percent and\n"
+      "the refinement pulls every case back under 0.2%% - the mechanism\n"
+      "that lets one sizing procedure serve all model levels.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Reproduces the paper's CPU-time claim for the estimator itself:
+/// "The CPU time required to execute the APE for all the ten opamps
+/// combined was 0.12 seconds" and "within 0.14 seconds for all the
+/// [module] examples". google-benchmark microbenches over each level of
+/// the hierarchy plus the two headline batch figures.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/estimator/components.h"
+#include "src/estimator/modules.h"
+#include "src/estimator/opamp.h"
+
+using namespace ape;
+using namespace ape::est;
+
+static const Process& proc() {
+  static const Process p = Process::default_1u2();
+  return p;
+}
+
+static void BM_TransistorSizing(benchmark::State& state) {
+  const TransistorEstimator xe(proc());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        xe.size_for_gm_id(spice::MosType::Nmos, 100e-6, 10e-6));
+  }
+}
+BENCHMARK(BM_TransistorSizing);
+
+static void BM_ComponentEstimate_DiffCmos(benchmark::State& state) {
+  const ComponentEstimator ce(proc());
+  ComponentSpec spec{ComponentKind::DiffCmos, 1e-6, 1000.0, 0.0, 0.5e-12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce.estimate(spec));
+  }
+}
+BENCHMARK(BM_ComponentEstimate_DiffCmos);
+
+static void BM_OpAmpEstimate(benchmark::State& state) {
+  const OpAmpEstimator oe(proc());
+  OpAmpSpec spec;
+  spec.gain = 200;
+  spec.ugf_hz = 5e6;
+  spec.ibias = 10e-6;
+  spec.cload = 10e-12;
+  spec.buffer = true;
+  spec.zout = 10e3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oe.estimate(spec));
+  }
+}
+BENCHMARK(BM_OpAmpEstimate);
+
+/// The paper's headline: all ten Table 1 opamps end-to-end.
+static void BM_ApeAllTenOpAmps(benchmark::State& state) {
+  const OpAmpEstimator oe(proc());
+  const auto rows = bench::table1_specs();
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      benchmark::DoNotOptimize(oe.estimate(bench::to_spec(row)));
+    }
+  }
+}
+BENCHMARK(BM_ApeAllTenOpAmps)->Unit(benchmark::kMillisecond);
+
+/// The paper's second headline: all five Table 5 modules.
+static void BM_ApeAllFiveModules(benchmark::State& state) {
+  const ModuleEstimator me(proc());
+  const auto specs = bench::table5_specs();
+  for (auto _ : state) {
+    for (const auto& spec : specs) {
+      benchmark::DoNotOptimize(me.estimate(spec));
+    }
+  }
+}
+BENCHMARK(BM_ApeAllFiveModules)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

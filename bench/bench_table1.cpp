@@ -1,0 +1,59 @@
+/// Reproduces paper Table 1: "Operational Amplifiers: Design
+/// Specifications and Synthesis Results" - the ASTRX/OBLX-like annealing
+/// sizer run STAND-ALONE (no initial design point, full technology-legal
+/// intervals) on the ten opamp specifications, each result verified on
+/// the MNA simulator. The paper's shape: 9 of 10 runs either don't work
+/// or badly violate a constraint.
+///
+/// Usage: bench_table1 [anneal_iterations]   (default 30000)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/synth/astrx.h"
+
+using namespace ape;
+using namespace ape::bench;
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const est::Process proc = est::Process::default_1u2();
+
+  std::printf("Table 1: ASTRX/OBLX-like synthesis, stand-alone (no initial point)\n");
+  std::printf("anneal iterations per run: %d; area budgets = paper x%.0f (see EXPERIMENTS.md)\n\n",
+              iters, kAreaScale);
+  std::printf("%-4s | %6s %7s %9s %6s | %9s %8s %10s %7s %8s | %s\n", "ckt",
+              "Gain", "UGF", "Area", "Ibias", "sim Gain", "sim UGF",
+              "Gate Area", "power", "CPU", "Comments");
+  std::printf("%-4s | %6s %7s %9s %6s | %9s %8s %10s %7s %8s | %s\n", "",
+              "abs", "(MHz)", "(um2)", "(uA)", "abs", "(MHz)", "(um2)", "(mW)",
+              "(s)", "");
+  rule(120);
+
+  int meets = 0, broken = 0;
+  for (const auto& row : table1_specs()) {
+    const est::OpAmpSpec spec = to_spec(row);
+    synth::SynthesisOptions opts;
+    opts.use_ape_seed = false;
+    opts.anneal.iterations = iters;
+    opts.anneal.seed = 0x1000 + static_cast<uint64_t>(row.name[2]);
+    const auto r = synth::synthesize_opamp(proc, spec, opts);
+    std::printf(
+        "%-4s | %6.0f %7.1f %9.0f %6.1f | %9.2f %8s %10.1f %7.2f %8.2f | %s\n",
+        row.name, row.gain, row.ugf_hz / 1e6, row.area_um2 * kAreaScale,
+        row.ibias * 1e6, r.sim.gain, opt_str(r.sim.ugf_hz, 1e-6).c_str(),
+        r.design.perf.gate_area * 1e12, r.sim.power * 1e3, r.cpu_seconds,
+        r.comment.c_str());
+    if (r.meets_spec) ++meets;
+    if (r.comment == "doesn't work") ++broken;
+  }
+  rule(120);
+  std::printf(
+      "\nSummary: %d/10 meet spec, %d/10 non-functional.\n"
+      "Paper shape: 1/10 met spec, 1/10 didn't simulate, the rest violated a\n"
+      "constraint (Gain << Spec / UGF < spec / Area >> Spec). Absolute CPU\n"
+      "seconds differ (their Ultra Sparc 30 took 245-1557 s per run).\n",
+      meets, broken);
+  return 0;
+}

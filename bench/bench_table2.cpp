@@ -1,0 +1,69 @@
+/// Reproduces paper Table 2: "Estimation vs SPICE Simulation for Basic
+/// Analog Circuits" - the level-2 component library sized to the paper's
+/// operating points, estimated by APE and verified on the MNA simulator.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/estimator/components.h"
+#include "src/estimator/verify.h"
+
+using namespace ape;
+using namespace ape::est;
+
+int main() {
+  const Process proc = Process::default_1u2();
+  const ComponentEstimator ce(proc);
+
+  struct Row {
+    ComponentSpec spec;
+  };
+  // Specs mirror the paper's implied operating points: 100 uA sources and
+  // reference, ~120 uA gain stages, 1 uA differential pairs.
+  std::vector<ComponentSpec> specs = {
+      {ComponentKind::DcVolt, 100e-6, 0.0, 2.5, 0.0},
+      {ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0},
+      {ComponentKind::WilsonSource, 100e-6, 0.0, 0.0, 0.0},
+      {ComponentKind::CascodeSource, 100e-6, 0.0, 0.0, 0.0},
+      {ComponentKind::GainNmos, 120e-6, 8.5, 0.0, 1e-12},
+      {ComponentKind::GainCmos, 120e-6, 19.0, 0.0, 1e-12},
+      {ComponentKind::GainCmosHalf, 120e-6, 5.1, 0.0, 1e-12},
+      {ComponentKind::Follower, 100e-6, 0.8, 0.0, 1e-12},
+      {ComponentKind::DiffNmos, 1e-6, 10.0, 0.0, 0.5e-12},
+      {ComponentKind::DiffCmos, 1e-6, 1000.0, 0.0, 0.5e-12},
+  };
+
+  std::printf("Table 2: Estimation vs Simulation for Basic Analog Circuits\n");
+  std::printf("(paper reports est/sim pairs for gate area, UGF, DC power, gain, current)\n\n");
+  std::printf("%-10s | %9s %9s | %8s %8s | %7s %7s | %9s %9s | %7s %7s\n",
+              "Topology", "Area est", "(um2)", "UGF est", "sim(MHz)",
+              "Pwr est", "sim(mW)", "Gain est", "sim", "I est", "sim(uA)");
+  bench::rule();
+
+  for (const auto& spec : specs) {
+    try {
+      const ComponentDesign d = ce.estimate(spec);
+      const ComponentSimReport r = simulate_component(d, proc);
+      std::printf(
+          "%-10s | %9.1f %9s | %8.2f %8s | %7.3f %7.3f | %9.2f %9.2f | %7.1f %7.1f\n",
+          to_string(spec.kind), d.perf.gate_area * 1e12, "(same)",
+          d.perf.ugf_hz / 1e6,
+          bench::opt_str(r.ugf_hz, 1e-6).c_str(), d.perf.dc_power * 1e3,
+          r.power * 1e3, d.perf.gain, r.gain, d.perf.current * 1e6,
+          r.current * 1e6);
+      if (spec.kind == ComponentKind::DiffCmos ||
+          spec.kind == ComponentKind::DiffNmos) {
+        std::printf("%-10s | CMRR est %.1f dB, sim %s dB\n", "",
+                    d.perf.cmrr_db, bench::opt_str(r.cmrr_db, 1.0, "%.1f").c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("%-10s | FAILED: %s\n", to_string(spec.kind), e.what());
+    }
+  }
+  bench::rule();
+  std::printf(
+      "Shape check vs paper: area est==sim by construction (same geometry);\n"
+      "gain/UGF/power est within tens of %% of sim; DiffCMOS gain ~1000 with\n"
+      "CMRR > 100 dB, DiffNMOS gain ~ -10, Wilson/Cascode > mirror area.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Reproduces paper Table 4: "OpAmp Results: ASTRX/OBLX with APE init" -
+/// the same ten specifications, but the annealer starts at the APE
+/// estimate with +/-20% intervals. The paper's shape: every run meets
+/// spec, with an overall CPU improvement over the blind runs.
+///
+/// Usage: bench_table4 [blind_iterations] [seeded_iterations]
+///        (defaults 30000 / 8000 - narrowed intervals need fewer moves)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/synth/astrx.h"
+
+using namespace ape;
+using namespace ape::bench;
+
+int main(int argc, char** argv) {
+  const int blind_iters = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const int seeded_iters = argc > 2 ? std::atoi(argv[2]) : 8000;
+  const est::Process proc = est::Process::default_1u2();
+
+  std::printf("Table 4: ASTRX/OBLX-like synthesis with APE initialization (+/-20%%)\n");
+  std::printf("blind reference: %d iterations; seeded: %d iterations\n\n",
+              blind_iters, seeded_iters);
+  std::printf("%-4s | %9s %8s %10s %7s %7s %8s %9s | %s\n", "ckt", "sim Gain",
+              "sim UGF", "Gate Area", "power", "SR", "CPU", "speed-up",
+              "Comments");
+  std::printf("%-4s | %9s %8s %10s %7s %7s %8s %9s | %s\n", "", "abs", "(MHz)",
+              "(um2)", "(mW)", "(V/us)", "(s)", "vs blind", "");
+  rule(110);
+
+  int meets = 0;
+  for (const auto& row : table1_specs()) {
+    const est::OpAmpSpec spec = to_spec(row);
+
+    synth::SynthesisOptions blind;
+    blind.use_ape_seed = false;
+    blind.anneal.iterations = blind_iters;
+    blind.anneal.seed = 0x1000 + static_cast<uint64_t>(row.name[2]);
+    const auto rb = synth::synthesize_opamp(proc, spec, blind);
+
+    synth::SynthesisOptions seeded;
+    seeded.use_ape_seed = true;
+    seeded.interval_frac = 0.2;
+    seeded.anneal.iterations = seeded_iters;
+    seeded.anneal.seed = 0x2000 + static_cast<uint64_t>(row.name[2]);
+    const auto rs = synth::synthesize_opamp(proc, spec, seeded);
+
+    const double speedup =
+        rb.cpu_seconds > 0.0
+            ? 100.0 * (rb.cpu_seconds - rs.cpu_seconds) / rb.cpu_seconds
+            : 0.0;
+    std::printf(
+        "%-4s | %9.2f %8s %10.1f %7.2f %7.2f %8.2f %8.1f%% | %s\n", row.name,
+        rs.sim.gain, opt_str(rs.sim.ugf_hz, 1e-6).c_str(),
+        rs.design.perf.gate_area * 1e12, rs.sim.power * 1e3, rs.sim.slew / 1e6,
+        rs.cpu_seconds, speedup, rs.comment.c_str());
+    if (rs.meets_spec) ++meets;
+  }
+  rule(110);
+  std::printf(
+      "\nSummary: %d/10 meet spec with APE initialization.\n"
+      "Paper shape: 10/10 met spec; CPU improved in all cases but one\n"
+      "(-33.9%%..71.7%%). The APE estimation itself is negligible next to\n"
+      "the annealing (see bench_ape_speed).\n",
+      meets);
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// Opamp designer: full level-3 flow for a two-stage Miller opamp.
+///
+///   opamp_designer [gain] [ugf_mhz] [ibias_uA] [cl_pF] [wilson] [buffer]
+///
+/// Prints the sized devices, the estimated vs simulated performance
+/// report (the paper's Table 3 row for this design), and the complete
+/// SPICE netlist of the open-loop verification testbench.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/estimator/opamp.h"
+#include "src/util/error.h"
+#include "src/estimator/verify.h"
+
+using namespace ape::est;
+
+int main(int argc, char** argv) {
+  OpAmpSpec spec;
+  spec.gain = argc > 1 ? std::atof(argv[1]) : 200.0;
+  spec.ugf_hz = (argc > 2 ? std::atof(argv[2]) : 5.0) * 1e6;
+  spec.ibias = (argc > 3 ? std::atof(argv[3]) : 10.0) * 1e-6;
+  spec.cload = (argc > 4 ? std::atof(argv[4]) : 10.0) * 1e-12;
+  spec.source = (argc > 5 && std::strcmp(argv[5], "wilson") == 0)
+                    ? CurrentSourceKind::Wilson
+                    : CurrentSourceKind::Mirror;
+  spec.buffer = argc > 6 && std::strcmp(argv[6], "buffer") == 0;
+  if (spec.buffer) spec.zout = 1e3;
+
+  const Process proc = Process::default_1u2();
+  std::printf("spec: gain>=%.0f, UGF>=%.2f MHz, Ibias=%.1f uA, CL=%.1f pF, %s tail%s\n\n",
+              spec.gain, spec.ugf_hz / 1e6, spec.ibias * 1e6, spec.cload * 1e12,
+              spec.source == CurrentSourceKind::Wilson ? "Wilson" : "mirror",
+              spec.buffer ? ", buffered" : "");
+
+  const OpAmpEstimator designer(proc);
+  OpAmpDesign d;
+  try {
+    d = designer.estimate(spec);
+  } catch (const ape::SpecError& e) {
+    std::printf("infeasible specification: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%-8s %-5s %10s %10s %10s %10s\n", "role", "type", "W (um)",
+              "L (um)", "Id (uA)", "gm (uS)");
+  for (size_t i = 0; i < d.transistors.size(); ++i) {
+    const TransistorDesign& t = d.transistors[i];
+    std::printf("%-8s %-5s %10.2f %10.2f %10.3f %10.2f\n", d.roles[i].c_str(),
+                t.type == ape::spice::MosType::Nmos ? "NMOS" : "PMOS",
+                t.w * 1e6, t.l * 1e6, t.id * 1e6, t.gm * 1e6);
+  }
+  std::printf("compensation: Cc=%.2f pF  Rz=%.0f ohm\n\n", d.perf.cc * 1e12,
+              d.perf.rz);
+
+  const OpAmpSimReport sim = simulate_opamp(d, proc);
+  std::printf("%-14s %12s %12s\n", "quantity", "APE estimate", "simulated");
+  std::printf("%-14s %12.0f %12.0f\n", "DC gain", d.perf.gain, sim.gain);
+  std::printf("%-14s %12.3f %12.3f\n", "UGF (MHz)", d.perf.ugf_hz / 1e6,
+              sim.ugf_hz.value_or(0.0) / 1e6);
+  std::printf("%-14s %12.1f %12.1f\n", "phase mgn (d)", d.perf.phase_margin,
+              sim.phase_margin.value_or(0.0));
+  std::printf("%-14s %12.3f %12.3f\n", "power (mW)", d.perf.dc_power * 1e3,
+              sim.power * 1e3);
+  std::printf("%-14s %12.2f %12.2f\n", "Itail (uA)", d.perf.ibias * 1e6,
+              sim.ibias * 1e6);
+  std::printf("%-14s %12.1f %12.1f\n", "Zout (kohm)", d.perf.zout / 1e3,
+              sim.zout / 1e3);
+  std::printf("%-14s %12.1f %12s\n", "CMRR (dB)", d.perf.cmrr_db,
+              sim.cmrr_db ? "see below" : "-");
+  if (sim.cmrr_db) std::printf("%-14s %12s %12.1f\n", "", "", *sim.cmrr_db);
+  std::printf("%-14s %12.2f %12.2f\n", "slew (V/us)", d.perf.slew / 1e6,
+              sim.slew / 1e6);
+  std::printf("%-14s %12.1f %12s\n", "area (um2)", d.perf.gate_area * 1e12,
+              "(same)");
+
+  std::printf("\nopen-loop testbench netlist:\n%s",
+              d.testbench(proc, OpAmpTb::OpenLoop).netlist.c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include <cmath>
+#include <string>
+
+#include "src/estimator/components.h"
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace ape::est {
+namespace {
+
+std::string fmt(double v) { return units::format_eng(v, 6); }
+
+}  // namespace
+
+Testbench ComponentDesign::testbench(const Process& proc, TbMode mode) const {
+  NetlistBuilder nb(std::string("APE testbench: ") + to_string(spec.kind));
+  nb.models(proc);
+  nb.vsource("Vdd", "vdd", "0", "DC " + fmt(proc.vdd));
+
+  Testbench tb;
+  tb.supply_source = "Vdd";
+  tb.cload = spec.cload;
+
+  auto t = [&](const std::string& role) -> const TransistorDesign& {
+    for (size_t i = 0; i < roles.size(); ++i) {
+      if (roles[i] == role) return transistors[i];
+    }
+    throw LookupError("testbench: missing role " + role);
+  };
+
+  switch (spec.kind) {
+    case ComponentKind::DcVolt: {
+      nb.mosfet(proc, t("pdiode"), "out", "out", "vdd", "vdd");
+      nb.mosfet(proc, t("ndiode"), "out", "out", "0", "0");
+      tb.out_node = "out";
+      break;
+    }
+    case ComponentKind::CurrentMirror: {
+      nb.isource("Iref", "vdd", "ref", "DC " + fmt(spec.ibias));
+      nb.mosfet(proc, t("ref"), "ref", "ref", "0", "0");
+      nb.mosfet(proc, t("out"), "out", "ref", "0", "0");
+      nb.vsource("Vout", "out", "0", "DC " + fmt(0.5 * proc.vdd) + " AC 1");
+      tb.out_node = "out";
+      tb.in_source = "Vout";
+      break;
+    }
+    case ComponentKind::WilsonSource: {
+      nb.isource("Iref", "vdd", "a", "DC " + fmt(spec.ibias));
+      nb.mosfet(proc, t("m1_in"), "a", "b", "0", "0");
+      nb.mosfet(proc, t("m2_diode"), "b", "b", "0", "0");
+      nb.mosfet(proc, t("m3_casc"), "out", "a", "b", "0");
+      nb.vsource("Vout", "out", "0", "DC " + fmt(0.5 * proc.vdd) + " AC 1");
+      tb.out_node = "out";
+      tb.in_source = "Vout";
+      break;
+    }
+    case ComponentKind::CascodeSource: {
+      nb.isource("Iref", "vdd", "g2", "DC " + fmt(spec.ibias));
+      nb.mosfet(proc, t("refc"), "g2", "g2", "g1", "0");
+      nb.mosfet(proc, t("ref"), "g1", "g1", "0", "0");
+      nb.mosfet(proc, t("outc"), "out", "g2", "x", "0");
+      nb.mosfet(proc, t("out"), "x", "g1", "0", "0");
+      nb.vsource("Vout", "out", "0", "DC " + fmt(0.5 * proc.vdd) + " AC 1");
+      tb.out_node = "out";
+      tb.in_source = "Vout";
+      break;
+    }
+    case ComponentKind::GainNmos: {
+      nb.vsource("Vin", "in", "0", "DC " + fmt(input_dc) + " AC 1");
+      nb.mosfet(proc, t("driver"), "out", "in", "0", "0");
+      nb.mosfet(proc, t("load"), "vdd", "vdd", "out", "0");
+      nb.capacitor("out", "0", spec.cload);
+      tb.out_node = "out";
+      tb.in_source = "Vin";
+      break;
+    }
+    case ComponentKind::GainCmos:
+    case ComponentKind::GainCmosHalf: {
+      nb.vsource("Vin", "in", "0", "DC " + fmt(input_dc) + " AC 1");
+      nb.mosfet(proc, t("driver"), "out", "in", "0", "0");
+      nb.mosfet(proc, t("load"), "out", "out", "vdd", "vdd");
+      nb.capacitor("out", "0", spec.cload);
+      tb.out_node = "out";
+      tb.in_source = "Vin";
+      break;
+    }
+    case ComponentKind::Follower: {
+      nb.vsource("Vin", "in", "0", "DC " + fmt(input_dc) + " AC 1");
+      nb.mosfet(proc, t("sf"), "vdd", "in", "out", "0");
+      nb.isource("Irefb", "vdd", "rb", "DC " + fmt(spec.ibias / 5.0));
+      nb.mosfet(proc, t("sink_ref"), "rb", "rb", "0", "0");
+      nb.mosfet(proc, t("sink"), "out", "rb", "0", "0");
+      nb.capacitor("out", "0", spec.cload);
+      tb.out_node = "out";
+      tb.in_source = "Vin";
+      break;
+    }
+    case ComponentKind::DiffNmos: {
+      const bool cm = (mode == TbMode::CommonMode);
+      nb.vsource("Vinp", "inp", "0",
+                 "DC " + fmt(input_dc) + (cm ? " AC 1" : " AC 0.5"));
+      nb.vsource("Vinn", "inn", "0",
+                 "DC " + fmt(input_dc) + (cm ? " AC 1" : " AC -0.5"));
+      nb.mosfet(proc, t("pair_p"), "o1", "inp", "t", "0");
+      nb.mosfet(proc, t("pair_n"), "o2", "inn", "t", "0");
+      nb.mosfet(proc, t("load_a"), "vdd", "vdd", "o1", "0");
+      nb.mosfet(proc, t("load_b"), "vdd", "vdd", "o2", "0");
+      nb.isource("Itail", "vdd", "tg", "DC " + fmt(spec.ibias));
+      nb.mosfet(proc, t("tail_ref"), "tg", "tg", "0", "0");
+      nb.mosfet(proc, t("tail"), "t", "tg", "0", "0");
+      nb.capacitor("o1", "0", spec.cload);
+      nb.capacitor("o2", "0", spec.cload);
+      // Differential probe o1 - o2 keeps the paper's negative-gain sense
+      // (same-side input/output). Common-mode runs probe one side only:
+      // the symmetric differential component cancels exactly.
+      tb.out_node = "o1";
+      tb.out_node2 = cm ? "" : "o2";
+      tb.in_source = "Vinp";
+      break;
+    }
+    case ComponentKind::DiffCmos: {
+      const bool cm = (mode == TbMode::CommonMode);
+      nb.vsource("Vinp", "inp", "0", "DC " + fmt(input_dc) + " AC 1");
+      nb.vsource("Vinn", "inn", "0",
+                 "DC " + fmt(input_dc) + (cm ? " AC 1" : ""));
+      nb.mosfet(proc, t("pair_p"), "n1", "inp", "t", "0");
+      nb.mosfet(proc, t("pair_n"), "out", "inn", "t", "0");
+      nb.mosfet(proc, t("load_a"), "n1", "n1", "vdd", "vdd");
+      nb.mosfet(proc, t("load_b"), "out", "n1", "vdd", "vdd");
+      nb.isource("Itail", "vdd", "tg", "DC " + fmt(spec.ibias));
+      nb.mosfet(proc, t("tail_ref"), "tg", "tg", "0", "0");
+      nb.mosfet(proc, t("tail"), "t", "tg", "0", "0");
+      nb.capacitor("out", "0", spec.cload);
+      tb.out_node = "out";
+      tb.in_source = "Vinp";
+      break;
+    }
+  }
+
+  tb.netlist = nb.str();
+  return tb;
+}
+
+}  // namespace ape::est

@@ -1,0 +1,110 @@
+#pragma once
+/// \file components.h
+/// Level 2 of the APE hierarchy: the basic analog component library
+/// (paper section 4, item 2, and Table 2).
+///
+/// Each component kind has: a sizing procedure that decomposes the
+/// component requirement into per-transistor (gm, Id) requirements and
+/// delegates to the TransistorEstimator; symbolic performance-composition
+/// equations (e.g. eqs. 5-7 for the differential amplifier); and a
+/// testbench emitter so the simulator substrate can verify the estimate.
+
+#include <string>
+#include <vector>
+
+#include "src/estimator/netlist.h"
+#include "src/estimator/process.h"
+#include "src/estimator/transistor.h"
+
+namespace ape::est {
+
+/// The component topologies in the APE library (Table 2 rows + cascode).
+enum class ComponentKind {
+  DcVolt,         ///< DC bias voltage (complementary diode divider)
+  CurrentMirror,  ///< simple 2-transistor NMOS mirror
+  WilsonSource,   ///< 3-transistor Wilson current source
+  CascodeSource,  ///< 4-transistor cascode current source
+  GainNmos,       ///< common-source stage, NMOS diode load
+  GainCmos,       ///< common-source stage, PMOS diode load
+  GainCmosHalf,   ///< low-power variant of GainCmos (reduced bias)
+  Follower,       ///< NMOS source follower output buffer
+  DiffNmos,       ///< differential pair with NMOS diode loads
+  DiffCmos,       ///< differential pair with PMOS current-mirror load
+};
+
+const char* to_string(ComponentKind kind);
+
+/// Requirements for a basic component. Which fields matter depends on the
+/// kind; unspecified fields keep their defaults.
+struct ComponentSpec {
+  ComponentKind kind = ComponentKind::CurrentMirror;
+  double ibias = 100e-6;  ///< bias / tail / output current [A]
+  double gain = 10.0;     ///< voltage-gain magnitude target (gain stages)
+  double vref = 2.5;      ///< output voltage (DcVolt) [V]
+  double cload = 1e-12;   ///< load capacitance for UGF / slew estimates [F]
+};
+
+/// Estimated performance attributes - the Table 2 columns.
+struct ComponentPerf {
+  double gate_area = 0.0;  ///< total gate area [m^2]
+  double dc_power = 0.0;   ///< static supply power [W]
+  double gain = 0.0;       ///< voltage gain (signed) or output voltage (DcVolt)
+  double ugf_hz = 0.0;     ///< unity-gain / bandwidth figure [Hz] (0 = n/a)
+  double current = 0.0;    ///< delivered output current [A] (0 = n/a)
+  double zout = 0.0;       ///< output impedance [ohm]
+  double cmrr_db = 0.0;    ///< common-mode rejection [dB] (diff pairs)
+  double slew = 0.0;       ///< slew rate [V/s] (0 = n/a)
+  double cin = 0.0;        ///< input capacitance [F]
+};
+
+/// Testbench flavours a component can emit.
+enum class TbMode {
+  Differential,  ///< normal stimulus on the (differential) input
+  CommonMode,    ///< both inputs driven together (CMRR measurement)
+};
+
+/// A sized component: transistor designs with role labels, performance
+/// attributes, and the bias voltages the testbench needs.
+struct ComponentDesign {
+  ComponentSpec spec;
+  ComponentPerf perf;
+  std::vector<TransistorDesign> transistors;
+  std::vector<std::string> roles;  ///< parallel to `transistors`
+  double input_dc = 0.0;           ///< input bias voltage for the testbench [V]
+
+  /// Emit a self-contained verification testbench.
+  Testbench testbench(const Process& proc, TbMode mode = TbMode::Differential) const;
+};
+
+/// The component estimator: sizes any ComponentSpec against a process.
+class ComponentEstimator {
+public:
+  explicit ComponentEstimator(const Process& proc)
+      : proc_(proc), xtor_(proc) {}
+
+  /// Size a component and estimate its performance. Throws SpecError when
+  /// the requirement is infeasible in this process/topology.
+  ComponentDesign estimate(const ComponentSpec& spec) const;
+
+  const Process& process() const { return proc_; }
+  const TransistorEstimator& transistor_estimator() const { return xtor_; }
+
+private:
+  ComponentDesign dc_volt(const ComponentSpec& s) const;
+  ComponentDesign current_mirror(const ComponentSpec& s) const;
+  ComponentDesign wilson(const ComponentSpec& s) const;
+  ComponentDesign cascode(const ComponentSpec& s) const;
+  ComponentDesign gain_stage(const ComponentSpec& s) const;
+  ComponentDesign follower(const ComponentSpec& s) const;
+  ComponentDesign diff_pair(const ComponentSpec& s) const;
+
+  /// Width that conducts \p id at a fixed (vgs, vds, vbs): exploits
+  /// Ids proportional to W in all supported model levels.
+  TransistorDesign device_at_vgs(spice::MosType type, double id, double vgs,
+                                 double vds, double vbs, double l) const;
+
+  const Process& proc_;
+  TransistorEstimator xtor_;
+};
+
+}  // namespace ape::est

@@ -1,0 +1,56 @@
+#pragma once
+/// \file constraints.h
+/// System-level constraint transformation (paper Figure 1: "a constraint
+/// transformation process allocates the system constraints onto analog
+/// modules ... guided by the estimates produced by APE"; companion paper
+/// [5] does this by directed interval search).
+///
+/// Two allocators are provided:
+///  * allocate_gain_chain - split a total gain across N identical
+///    inverting-amplifier stages so the cascade meets an end-to-end
+///    bandwidth with minimum estimated area;
+///  * allocate_amp_filter_chain - transform an "amplify by G, then
+///    low-pass at f0" system spec into an amplifier spec and a filter
+///    spec, widening the amplifier's bandwidth budget by directed
+///    interval search until the composed corner stops sagging.
+///
+/// Composition uses the modules' own macromodel responses (|H_chain| =
+/// |H_amp| * |H_lpf|, valid for the buffered stage interfaces APE emits).
+
+#include <vector>
+
+#include "src/estimator/modules.h"
+
+namespace ape::est {
+
+/// Outcome of a chain allocation.
+struct ChainAllocation {
+  bool feasible = false;
+  std::vector<ModuleSpec> stage_specs;  ///< the transformed constraints
+  std::vector<ModuleDesign> designs;    ///< APE-sized stages
+  double system_gain = 0.0;             ///< composed passband gain
+  double system_bw_hz = 0.0;            ///< composed -3 dB corner
+  double total_area = 0.0;              ///< [m^2]
+  double total_power = 0.0;             ///< [W]
+  int iterations = 0;                   ///< directed-search steps taken
+};
+
+/// Split \p total_gain across \p n_stages inverting amplifiers such that
+/// the cascade's -3 dB bandwidth meets \p bw_hz. Each stage's bandwidth
+/// budget is widened by the standard cascade-shrinkage factor
+/// sqrt(2^(1/n) - 1).
+ChainAllocation allocate_gain_chain(const Process& proc, double total_gain,
+                                    double bw_hz, int n_stages,
+                                    double area_budget = 0.0);
+
+/// Transform {gain G, low-pass corner f0} into an InvertingAmp spec plus
+/// a 4th-order LowPassFilter spec. The amplifier bandwidth multiplier k
+/// (amp BW = k * f0) is searched upward until the composed corner is
+/// within \p corner_tol of the filter's own corner - the point where the
+/// amplifier stops eating into the filter response.
+ChainAllocation allocate_amp_filter_chain(const Process& proc, double gain,
+                                          double f0_hz,
+                                          double area_budget = 0.0,
+                                          double corner_tol = 0.02);
+
+}  // namespace ape::est

@@ -1,0 +1,100 @@
+#include "src/estimator/process.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace ape::est {
+
+Process Process::default_1u2() {
+  Process p;
+  p.name = "generic-1.2u";
+
+  spice::MosModelCard n;
+  n.name = "modn";
+  n.type = spice::MosType::Nmos;
+  n.level = 1;
+  n.vto = 0.8;
+  n.kp = 8.0e-5;
+  n.gamma = 0.4;
+  n.phi = 0.6;
+  n.lambda = 0.02;
+  n.tox = 2.0e-8;
+  n.ld = 0.1e-6;
+  n.cgso = 3.0e-10;
+  n.cgdo = 3.0e-10;
+  n.cj = 3.0e-4;
+  n.mj = 0.5;
+  n.cjsw = 3.0e-10;
+  n.mjsw = 0.33;
+  n.pb = 0.8;
+  n.lref = 2.4e-6;
+  p.nmos = n;
+
+  spice::MosModelCard q = n;
+  q.name = "modp";
+  q.type = spice::MosType::Pmos;
+  q.vto = -0.8;
+  q.kp = 2.8e-5;
+  q.gamma = 0.5;
+  q.lambda = 0.03;
+  p.pmos = q;
+
+  p.vdd = 5.0;
+  p.vss = 0.0;
+  p.lmin = 1.2e-6;
+  p.wmin = 2.0e-6;
+  return p;
+}
+
+Process Process::default_1u2_level3() {
+  Process p = default_1u2();
+  p.name = "generic-1.2u-l3";
+  p.nmos.level = 3;
+  p.nmos.theta = 0.08;
+  p.nmos.vmax = 1.5e5;
+  p.nmos.eta = 0.02;
+  p.pmos.level = 3;
+  p.pmos.theta = 0.1;
+  p.pmos.vmax = 8.0e4;
+  p.pmos.eta = 0.02;
+  return p;
+}
+
+Process Process::default_1u2_bsim() {
+  Process p = default_1u2();
+  p.name = "generic-1.2u-bsim";
+  auto to_bsim = [](spice::MosModelCard& c) {
+    c.level = 4;
+    // Match the LEVEL 1 threshold at Vsb = 0:
+    // VTO = VFB + PHI + K1 sqrt(PHI)  with K1 = GAMMA, K2 = 0.
+    c.k1 = c.gamma;
+    c.k2 = 0.0;
+    const double vto = c.type == spice::MosType::Pmos ? -c.vto : c.vto;
+    c.vfb = vto - c.phi - c.k1 * std::sqrt(c.phi);
+    if (c.type == spice::MosType::Pmos) c.vfb = -c.vfb;
+    // Match the LEVEL 1 transconductance parameter at low fields.
+    c.muz = c.kp / c.cox() * 1e4;
+    c.kp = 0.0;  // level 4 derives beta from MUZ
+    c.u0v = 0.05;
+    c.u1 = 2.0e-8;
+  };
+  to_bsim(p.nmos);
+  to_bsim(p.pmos);
+  return p;
+}
+
+Process Process::from_cards(spice::MosModelCard n, spice::MosModelCard p,
+                            double vdd) {
+  if (n.type != spice::MosType::Nmos || p.type != spice::MosType::Pmos) {
+    throw SpecError("Process::from_cards: cards must be (nmos, pmos)");
+  }
+  Process out;
+  out.name = n.name + "/" + p.name;
+  out.nmos = std::move(n);
+  out.pmos = std::move(p);
+  out.vdd = vdd;
+  return out;
+}
+
+}  // namespace ape::est

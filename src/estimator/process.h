@@ -1,0 +1,51 @@
+#pragma once
+/// \file process.h
+/// Fabrication-process database for the estimator: the NMOS/PMOS model
+/// cards plus supply and geometry limits. This is the "technology process
+/// parameters and SPICE models" input at the bottom of the APE hierarchy
+/// (paper section 4, item 1).
+
+#include <string>
+
+#include "src/spice/mos_model.h"
+
+namespace ape::est {
+
+/// A CMOS process: one NMOS and one PMOS card plus design limits.
+struct Process {
+  std::string name = "generic";
+  spice::MosModelCard nmos;
+  spice::MosModelCard pmos;
+  double vdd = 5.0;      ///< positive supply [V]
+  double vss = 0.0;      ///< negative supply [V]
+  double lmin = 1.2e-6;  ///< minimum drawn channel length [m]
+  double wmin = 2.0e-6;  ///< minimum drawn width [m]
+  double wmax = 2.0e-3;  ///< maximum practical width [m]
+
+  /// Model card for a device type.
+  const spice::MosModelCard& card(spice::MosType t) const {
+    return t == spice::MosType::Nmos ? nmos : pmos;
+  }
+
+  /// Representative 1.2 um-class process used throughout the benches.
+  /// The paper does not publish its process card; this one is chosen so
+  /// sized circuits land in the same order of magnitude as the paper's
+  /// area/power numbers (see DESIGN.md section 4).
+  static Process default_1u2();
+
+  /// Same process expressed as LEVEL 3 cards (empirical short-channel
+  /// corrections) - used by the model-level ablation bench.
+  static Process default_1u2_level3();
+
+  /// Same process expressed as simplified BSIM1 (LEVEL 4) cards: the
+  /// flat-band/K1 parameters are derived from the LEVEL 1 card so the
+  /// long-channel behaviour matches, with mild vertical-field and
+  /// velocity-saturation terms on top.
+  static Process default_1u2_bsim();
+
+  /// Build a process from two parsed .model cards.
+  static Process from_cards(spice::MosModelCard n, spice::MosModelCard p,
+                            double vdd = 5.0);
+};
+
+}  // namespace ape::est

@@ -1,0 +1,236 @@
+#include "src/spice/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/spice/devices.h"
+#include "src/util/matrix.h"
+
+namespace ape::spice {
+namespace {
+
+/// One damped Newton solve of the (already finalized) circuit at a fixed
+/// gmin / source scale. Returns true on convergence; x is updated in place.
+bool newton_dc(Circuit& ckt, Solution& x, double gmin, double src_scale,
+               const DcOptions& opts) {
+  const size_t dim = ckt.dim();
+  const size_t n_nodes = ckt.num_nodes();
+  MnaReal mna(dim);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    mna.clear();
+    for (const auto& dev : ckt.devices()) dev->stamp_dc(mna, x, src_scale);
+    for (size_t i = 0; i < n_nodes; ++i) {
+      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), gmin);
+    }
+    std::vector<double> xnew;
+    try {
+      LuSolver<double> lu(mna.matrix());
+      xnew = lu.solve(mna.rhs());
+    } catch (const NumericError&) {
+      return false;
+    }
+
+    // Damp node-voltage updates; branch currents move freely. The ratio
+    // is capped so every iteration closes at least a fixed fraction of
+    // the remaining gap - otherwise circuits with legitimately large
+    // internal swings (ideal-gain macromodels) would need |dv|/limit
+    // iterations instead of log(|dv|).
+    bool converged = true;
+    double max_ratio = 1.0;
+    for (size_t i = 0; i < n_nodes; ++i) {
+      const double dv = std::fabs(xnew[i] - x.x[i]);
+      if (dv > opts.vstep_limit) max_ratio = std::max(max_ratio, dv / opts.vstep_limit);
+    }
+    max_ratio = std::min(max_ratio, opts.max_damping_ratio);
+    for (size_t i = 0; i < dim; ++i) {
+      const double step = (xnew[i] - x.x[i]) / max_ratio;
+      const double next = x.x[i] + step;
+      const double tol = (i < n_nodes)
+                             ? opts.vntol + opts.reltol * std::max(std::fabs(next), std::fabs(x.x[i]))
+                             : opts.abstol + opts.reltol * std::max(std::fabs(next), std::fabs(x.x[i]));
+      if (std::fabs(step) > tol) converged = false;
+      x.x[i] = next;
+    }
+    if (converged && max_ratio == 1.0 && iter > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
+  ckt.finalize();
+  Solution x;
+  x.x.assign(ckt.dim(), 0.0);
+
+  // Plan A: gmin stepping from a heavily damped system down to ~ideal.
+  bool ok = true;
+  for (double gmin : opts.gmin_steps) {
+    if (!newton_dc(ckt, x, gmin, 1.0, opts)) {
+      ok = false;
+      break;
+    }
+  }
+
+  if (!ok) {
+    // Plan B: source stepping with a fixed medium gmin, then the ladder.
+    x.x.assign(ckt.dim(), 0.0);
+    ok = true;
+    for (double s : opts.source_steps) {
+      if (!newton_dc(ckt, x, 1e-9, s, opts)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (double gmin : opts.gmin_steps) {
+        if (!newton_dc(ckt, x, gmin, 1.0, opts)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!ok) {
+    throw NumericError("dc_operating_point: Newton failed to converge for '" +
+                       ckt.title() + "'");
+  }
+  for (const auto& dev : ckt.devices()) dev->save_op(x);
+  return x;
+}
+
+double node_voltage(const Circuit& ckt, const Solution& sol, const std::string& node) {
+  return sol.at(ckt.find_node(node));
+}
+
+double source_current(Circuit& ckt, const Solution& sol, const std::string& vsource) {
+  auto& vs = ckt.find_as<VSource>(vsource);
+  return sol.at(vs.branch());
+}
+
+DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
+                       double stop, double step, const DcOptions& opts) {
+  if (step <= 0.0 || stop < start) throw SpecError("dc_sweep: bad range");
+  auto& vs = ckt.find_as<VSource>(vsource);
+  const double original = vs.wave().dc;
+
+  DcSweepResult res;
+  // Full gmin-stepped solve at the first point; subsequent points are a
+  // single warm-started Newton pass at the final gmin.
+  vs.wave().dc = start;
+  Solution x = dc_operating_point(ckt, opts);
+  res.values.push_back(start);
+  res.solutions.push_back(x);
+  for (double v = start + step; v <= stop + 0.5 * step; v += step) {
+    vs.wave().dc = v;
+    if (!newton_dc(ckt, x, opts.gmin_steps.back(), 1.0, opts)) {
+      // Fall back to the full ladder if the warm start fails.
+      x.x.assign(ckt.dim(), 0.0);
+      x = dc_operating_point(ckt, opts);
+    }
+    res.values.push_back(v);
+    res.solutions.push_back(x);
+  }
+  for (const auto& dev : ckt.devices()) dev->save_op(x);
+  vs.wave().dc = original;
+  return res;
+}
+
+AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
+                     int points_per_decade) {
+  if (!ckt.finalized()) {
+    throw Error("ac_analysis: run dc_operating_point first");
+  }
+  if (f_start <= 0.0 || f_stop < f_start) {
+    throw SpecError("ac_analysis: bad frequency range");
+  }
+  AcResult out;
+  const double decades = std::log10(f_stop / f_start);
+  const int n = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  const size_t dim = ckt.dim();
+  MnaComplex mna(dim);
+  for (int k = 0; k < n; ++k) {
+    const double f = f_start * std::pow(10.0, decades * k / (n - 1));
+    const double omega = 2.0 * M_PI * f;
+    mna.clear();
+    for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, omega);
+    // Tiny diagonal keeps capacitively-floating nodes solvable.
+    for (size_t i = 0; i < ckt.num_nodes(); ++i) {
+      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), {1e-12, 0.0});
+    }
+    LuSolver<std::complex<double>> lu(mna.matrix());
+    out.freq_hz.push_back(f);
+    out.solutions.push_back(lu.solve(mna.rhs()));
+  }
+  return out;
+}
+
+TranResult transient(Circuit& ckt, double t_step, double t_stop,
+                     const TranOptions& opts) {
+  if (t_step <= 0.0 || t_stop <= t_step) {
+    throw SpecError("transient: bad time range");
+  }
+  Solution x = dc_operating_point(ckt);
+
+  TranResult out;
+  out.time_s.push_back(0.0);
+  out.solutions.push_back(x);
+
+  const size_t dim = ckt.dim();
+  const size_t n_nodes = ckt.num_nodes();
+  MnaReal mna(dim);
+
+  double t = 0.0;
+  bool first = true;
+  while (t < t_stop - 1e-15) {
+    double dt = std::min(t_step, t_stop - t);
+    // Try the step; on Newton failure halve dt (bounded retries).
+    int halvings = 0;
+    for (;;) {
+      TranContext tc{dt, t + dt, first};
+      Solution xc = x;  // start Newton from previous accepted point
+      bool converged = false;
+      for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        mna.clear();
+        for (const auto& dev : ckt.devices()) dev->stamp_tran(mna, xc, tc);
+        for (size_t i = 0; i < n_nodes; ++i) {
+          mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), 1e-12);
+        }
+        std::vector<double> xnew;
+        try {
+          LuSolver<double> lu(mna.matrix());
+          xnew = lu.solve(mna.rhs());
+        } catch (const NumericError&) {
+          break;
+        }
+        converged = true;
+        for (size_t i = 0; i < dim; ++i) {
+          const double step = xnew[i] - xc.x[i];
+          const double tol = opts.vntol + opts.reltol *
+                                 std::max(std::fabs(xnew[i]), std::fabs(xc.x[i]));
+          if (std::fabs(step) > tol) converged = false;
+          xc.x[i] = xnew[i];
+        }
+        if (converged && iter > 0) break;
+        converged = false;
+      }
+      if (converged) {
+        for (const auto& dev : ckt.devices()) dev->accept_tran_step(xc, tc);
+        x = std::move(xc);
+        t += dt;
+        first = false;
+        // Record only the user-grid points when we sub-stepped.
+        out.time_s.push_back(t);
+        out.solutions.push_back(x);
+        break;
+      }
+      if (++halvings > opts.max_step_halvings) {
+        throw NumericError("transient: Newton failed at t=" + std::to_string(t));
+      }
+      dt *= 0.5;
+    }
+  }
+  return out;
+}
+
+}  // namespace ape::spice

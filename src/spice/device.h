@@ -1,0 +1,152 @@
+#pragma once
+/// \file device.h
+/// Device base class and the MNA stamping interfaces.
+///
+/// The MNA vector is [node voltages (ground excluded) | branch currents].
+/// Devices that introduce branch equations (voltage sources, VCVS/CCVS,
+/// inductors) claim branch rows during Circuit::finalize().
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "src/util/matrix.h"
+
+namespace ape::spice {
+
+/// Node handle: index into the MNA vector; kGround is the reference node
+/// and is never stamped.
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+/// A candidate or converged solution vector (node voltages + branch currents).
+struct Solution {
+  std::vector<double> x;
+
+  double at(NodeId n) const { return n == kGround ? 0.0 : x[static_cast<size_t>(n)]; }
+};
+
+/// Real-valued MNA system for DC and transient Newton iterations.
+class MnaReal {
+public:
+  explicit MnaReal(size_t dim) : g_(dim, dim), rhs_(dim, 0.0) {}
+
+  size_t dim() const { return rhs_.size(); }
+  void clear() {
+    g_.set_zero();
+    rhs_.assign(rhs_.size(), 0.0);
+  }
+
+  /// Add \p value at (i, j), ignoring ground rows/columns.
+  void add(NodeId i, NodeId j, double value) {
+    if (i == kGround || j == kGround) return;
+    g_(static_cast<size_t>(i), static_cast<size_t>(j)) += value;
+  }
+  /// Add \p value to the right-hand side at row \p i.
+  void add_rhs(NodeId i, double value) {
+    if (i == kGround) return;
+    rhs_[static_cast<size_t>(i)] += value;
+  }
+
+  RealMatrix& matrix() { return g_; }
+  std::vector<double>& rhs() { return rhs_; }
+
+private:
+  RealMatrix g_;
+  std::vector<double> rhs_;
+};
+
+/// Complex MNA system for small-signal AC analysis.
+class MnaComplex {
+public:
+  explicit MnaComplex(size_t dim) : g_(dim, dim), rhs_(dim, {0.0, 0.0}) {}
+
+  size_t dim() const { return rhs_.size(); }
+  void clear() {
+    g_.set_zero();
+    rhs_.assign(rhs_.size(), std::complex<double>{0.0, 0.0});
+  }
+  void add(NodeId i, NodeId j, std::complex<double> value) {
+    if (i == kGround || j == kGround) return;
+    g_(static_cast<size_t>(i), static_cast<size_t>(j)) += value;
+  }
+  void add_rhs(NodeId i, std::complex<double> value) {
+    if (i == kGround) return;
+    rhs_[static_cast<size_t>(i)] += value;
+  }
+
+  ComplexMatrix& matrix() { return g_; }
+  std::vector<std::complex<double>>& rhs() { return rhs_; }
+
+private:
+  ComplexMatrix g_;
+  std::vector<std::complex<double>> rhs_;
+};
+
+/// One equivalent noise-current source between two nodes, with a white
+/// (thermal/shot) part and a 1/f (flicker) part:
+///   S_i(f) = thermal + flicker / f     [A^2/Hz]
+struct NoiseSource {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  double thermal = 0.0;
+  double flicker = 0.0;
+
+  double psd(double f_hz) const { return thermal + flicker / f_hz; }
+};
+
+/// Context passed to transient stamps.
+struct TranContext {
+  double dt = 0.0;        ///< current step size [s]
+  double time = 0.0;      ///< time being solved for [s]
+  bool first_step = true; ///< true on the step leaving the DC operating point
+};
+
+/// Abstract circuit element.
+class Device {
+public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Claim branch rows; \p next_branch is the next free MNA index.
+  virtual void claim_branches(size_t& next_branch) { (void)next_branch; }
+
+  /// Stamp the linearized (companion) model around candidate solution \p x
+  /// for a DC Newton iteration. \p src_scale scales independent sources
+  /// (source-stepping homotopy).
+  virtual void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const = 0;
+
+  /// Record the converged DC operating point (bias-dependent small-signal
+  /// parameters are cached here for AC / transient use).
+  virtual void save_op(const Solution& x) { (void)x; }
+
+  /// Stamp the small-signal model at angular frequency \p omega.
+  virtual void stamp_ac(MnaComplex& mna, double omega) const = 0;
+
+  /// Stamp for one transient Newton iteration at candidate \p x.
+  /// Default: same as DC (resistive elements).
+  virtual void stamp_tran(MnaReal& mna, const Solution& x, const TranContext& tc) const {
+    (void)tc;
+    stamp_dc(mna, x, 1.0);
+  }
+
+  /// Accept the converged transient step (update integrator state).
+  virtual void accept_tran_step(const Solution& x, const TranContext& tc) {
+    (void)x;
+    (void)tc;
+  }
+
+  /// Append this device's equivalent noise-current sources (evaluated at
+  /// the cached operating point). Noiseless devices append nothing.
+  virtual void noise_sources(std::vector<NoiseSource>& out) const { (void)out; }
+
+private:
+  std::string name_;
+};
+
+}  // namespace ape::spice

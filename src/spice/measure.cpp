@@ -1,0 +1,165 @@
+#include "src/spice/measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace ape::spice {
+
+Bode::Bode(const AcResult& ac, NodeId out) {
+  if (ac.freq_hz.empty()) throw NumericError("Bode: empty AC result");
+  freq_ = ac.freq_hz;
+  mag_.reserve(freq_.size());
+  phase_deg_.reserve(freq_.size());
+  for (size_t k = 0; k < freq_.size(); ++k) {
+    const std::complex<double> h = ac.voltage(out, k);
+    mag_.push_back(std::abs(h));
+    phase_deg_.push_back(std::arg(h) * 180.0 / M_PI);
+  }
+}
+
+double Bode::mag_at(double f) const {
+  if (f <= freq_.front()) return mag_.front();
+  if (f >= freq_.back()) return mag_.back();
+  auto it = std::lower_bound(freq_.begin(), freq_.end(), f);
+  const size_t hi = static_cast<size_t>(it - freq_.begin());
+  const size_t lo = hi - 1;
+  const double t = (std::log10(f) - std::log10(freq_[lo])) /
+                   (std::log10(freq_[hi]) - std::log10(freq_[lo]));
+  const double lm =
+      std::log10(std::max(mag_[lo], 1e-30)) * (1.0 - t) +
+      std::log10(std::max(mag_[hi], 1e-30)) * t;
+  return std::pow(10.0, lm);
+}
+
+std::optional<double> Bode::crossing(double level, size_t from) const {
+  for (size_t k = std::max<size_t>(from, 1); k < freq_.size(); ++k) {
+    if (mag_[k - 1] >= level && mag_[k] < level) {
+      // Log-log interpolation of the crossing frequency.
+      const double l0 = std::log10(std::max(mag_[k - 1], 1e-30));
+      const double l1 = std::log10(std::max(mag_[k], 1e-30));
+      const double lt = std::log10(std::max(level, 1e-30));
+      const double t = (l0 - lt) / std::max(l0 - l1, 1e-12);
+      const double lf = std::log10(freq_[k - 1]) * (1.0 - t) + std::log10(freq_[k]) * t;
+      return std::pow(10.0, lf);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Bode::unity_gain_freq() const { return crossing(1.0, 1); }
+
+std::optional<double> Bode::f_3db() const {
+  return crossing(dc_gain() / std::sqrt(2.0), 1);
+}
+
+std::optional<double> Bode::mag_crossing(double level) const {
+  return crossing(level, 1);
+}
+
+std::optional<double> Bode::phase_margin_deg() const {
+  const auto fu = unity_gain_freq();
+  if (!fu) return std::nullopt;
+  // Interpolate phase at fu (linear in log-f).
+  auto it = std::lower_bound(freq_.begin(), freq_.end(), *fu);
+  size_t hi = static_cast<size_t>(it - freq_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= freq_.size()) hi = freq_.size() - 1;
+  const size_t lo = hi - 1;
+  const double t = (std::log10(*fu) - std::log10(freq_[lo])) /
+                   std::max(std::log10(freq_[hi]) - std::log10(freq_[lo]), 1e-12);
+  double p0 = phase_deg_[lo];
+  double p1 = phase_deg_[hi];
+  // Unwrap a single 360-degree jump between adjacent points.
+  if (p1 - p0 > 180.0) p1 -= 360.0;
+  if (p0 - p1 > 180.0) p1 += 360.0;
+  const double phase = p0 * (1.0 - t) + p1 * t;
+  return 180.0 + phase;  // relative to -180 degrees
+}
+
+double Bode::peak_freq() const {
+  const size_t k = static_cast<size_t>(
+      std::max_element(mag_.begin(), mag_.end()) - mag_.begin());
+  return freq_[k];
+}
+
+double Bode::peak_gain() const {
+  return *std::max_element(mag_.begin(), mag_.end());
+}
+
+std::optional<double> Bode::bandwidth_3db() const {
+  const size_t kp = static_cast<size_t>(
+      std::max_element(mag_.begin(), mag_.end()) - mag_.begin());
+  const double level = mag_[kp] / std::sqrt(2.0);
+  // Upper edge: first downward crossing after the peak.
+  const auto hi = crossing(level, kp + 1);
+  // Lower edge: first upward crossing before the peak (scan mirrored).
+  std::optional<double> lo;
+  for (size_t k = kp; k >= 1; --k) {
+    if (mag_[k] >= level && mag_[k - 1] < level) {
+      const double l0 = std::log10(std::max(mag_[k - 1], 1e-30));
+      const double l1 = std::log10(std::max(mag_[k], 1e-30));
+      const double lt = std::log10(std::max(level, 1e-30));
+      const double t = (lt - l0) / std::max(l1 - l0, 1e-12);
+      const double lf = std::log10(freq_[k - 1]) * (1.0 - t) + std::log10(freq_[k]) * t;
+      lo = std::pow(10.0, lf);
+      break;
+    }
+  }
+  if (hi && lo) return *hi - *lo;
+  if (hi && !lo) return *hi;  // low-pass-like response: report the upper edge
+  return std::nullopt;
+}
+
+// --- Transient ---------------------------------------------------------------
+
+double slew_rate(const TranResult& tr, NodeId node) {
+  double best = 0.0;
+  for (size_t k = 1; k < tr.time_s.size(); ++k) {
+    const double dt = tr.time_s[k] - tr.time_s[k - 1];
+    if (dt <= 0.0) continue;
+    const double dv = tr.voltage(node, k) - tr.voltage(node, k - 1);
+    best = std::max(best, std::fabs(dv / dt));
+  }
+  return best;
+}
+
+std::optional<double> crossing_time(const TranResult& tr, NodeId node, double level) {
+  if (tr.time_s.size() < 2) return std::nullopt;
+  const bool rising = tr.voltage(node, 0) < level;
+  for (size_t k = 1; k < tr.time_s.size(); ++k) {
+    const double v0 = tr.voltage(node, k - 1);
+    const double v1 = tr.voltage(node, k);
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (crossed) {
+      const double t = (level - v0) / (v1 - v0);
+      return tr.time_s[k - 1] + t * (tr.time_s[k] - tr.time_s[k - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+double final_value(const TranResult& tr, NodeId node) {
+  return tr.voltage(node, tr.time_s.size() - 1);
+}
+
+std::optional<double> settling_time(const TranResult& tr, NodeId node,
+                                    double tol_frac, double t_from) {
+  const double vf = final_value(tr, node);
+  const double band = std::max(std::fabs(vf) * tol_frac, 1e-9);
+  // Walk backwards: find the last sample outside the band.
+  std::optional<double> settle;
+  for (size_t k = tr.time_s.size(); k-- > 0;) {
+    if (tr.time_s[k] < t_from) break;
+    if (std::fabs(tr.voltage(node, k) - vf) > band) {
+      if (k + 1 < tr.time_s.size()) settle = tr.time_s[k + 1];
+      break;
+    }
+    settle = tr.time_s[k];
+  }
+  return settle;
+}
+
+}  // namespace ape::spice

@@ -1,0 +1,82 @@
+#pragma once
+/// \file measure.h
+/// Performance extraction from AC and transient results: the quantities
+/// the paper's tables report (DC gain, UGF, bandwidth, phase margin,
+/// slew rate, delay, settling).
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "src/spice/analysis.h"
+
+namespace ape::spice {
+
+/// A magnitude/phase transfer function extracted from an AC sweep at one
+/// output node (the stimulus source must have ac_mag = 1).
+class Bode {
+public:
+  Bode(const AcResult& ac, NodeId out);
+
+  size_t size() const { return freq_.size(); }
+  double freq(size_t k) const { return freq_[k]; }
+  double mag(size_t k) const { return mag_[k]; }
+  double phase_deg(size_t k) const { return phase_deg_[k]; }
+
+  /// Gain at the lowest swept frequency (the "DC" gain for a sweep that
+  /// starts well below the first pole).
+  double dc_gain() const { return mag_.front(); }
+
+  /// |H| interpolated at an arbitrary frequency (log-x, log-y interpolation).
+  double mag_at(double f) const;
+
+  /// First downward |H| = 1 crossing (unity-gain frequency) [Hz];
+  /// nullopt if the gain never crosses unity inside the sweep.
+  std::optional<double> unity_gain_freq() const;
+
+  /// First frequency where |H| falls to dc_gain/sqrt(2) [Hz].
+  std::optional<double> f_3db() const;
+
+  /// First downward |H| = level crossing [Hz] (e.g. the -20 dB point at
+  /// level = dc_gain/10).
+  std::optional<double> mag_crossing(double level) const;
+
+  /// Phase margin in degrees at the unity-gain frequency.
+  std::optional<double> phase_margin_deg() const;
+
+  /// Frequency of the magnitude peak (band-pass center) and its gain.
+  double peak_freq() const;
+  double peak_gain() const;
+
+  /// -3 dB bandwidth around the peak (band-pass); nullopt if the edges
+  /// fall outside the sweep.
+  std::optional<double> bandwidth_3db() const;
+
+private:
+  std::optional<double> crossing(double level, size_t from) const;
+
+  std::vector<double> freq_;
+  std::vector<double> mag_;
+  std::vector<double> phase_deg_;
+};
+
+// ---------------------------------------------------------------------------
+// Transient measurements.
+
+/// Maximum |dv/dt| of a node over the record [V/s]. The paper reports
+/// slew rate in V/us; divide by 1e6.
+double slew_rate(const TranResult& tr, NodeId node);
+
+/// First time the node crosses \p level (with the crossing direction
+/// inferred from the initial value); nullopt if never.
+std::optional<double> crossing_time(const TranResult& tr, NodeId node, double level);
+
+/// Time after \p t_from at which the node stays within +/- \p tol_frac of
+/// its final value for the rest of the record.
+std::optional<double> settling_time(const TranResult& tr, NodeId node,
+                                    double tol_frac = 0.02, double t_from = 0.0);
+
+/// Final value of a node (last sample).
+double final_value(const TranResult& tr, NodeId node);
+
+}  // namespace ape::spice

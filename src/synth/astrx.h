@@ -1,0 +1,76 @@
+#pragma once
+/// \file astrx.h
+/// The ASTRX/OBLX-like synthesis driver: simulated-annealing sizing of a
+/// fixed topology, run either blind over the full technology-legal box
+/// (Table 1) or seeded at the APE estimate with narrow intervals
+/// (Table 4 / Table 5). Final candidates are verified on the MNA
+/// simulator, mirroring the paper's SPICE check of synthesis output.
+
+#include <string>
+
+#include "src/estimator/modules.h"
+#include "src/estimator/opamp.h"
+#include "src/estimator/verify.h"
+#include "src/synth/anneal.h"
+#include "src/synth/sizing.h"
+
+namespace ape::synth {
+
+struct SynthesisOptions {
+  bool use_ape_seed = false;   ///< seed + narrow intervals from APE
+  double interval_frac = 0.2;  ///< +/- fraction around the seed (paper: 20%)
+  /// Design margin applied to the gain/UGF targets inside the cost
+  /// function (the analytic evaluator sits a few percent optimistic of
+  /// the simulator, exactly as ASTRX's AWE models did).
+  double target_margin = 1.15;
+  AnnealOptions anneal;
+};
+
+/// Outcome of one opamp synthesis run.
+struct SynthesisOutcome {
+  est::OpAmpDesign design;       ///< best point found
+  double cost = 0.0;             ///< final annealing cost
+  bool functional = false;       ///< analytic bias point exists
+  est::OpAmpSimReport sim;       ///< full simulator verification
+  double cpu_seconds = 0.0;      ///< wall-clock of the search
+  bool meets_spec = false;       ///< simulator-verified constraint check
+  std::string comment;           ///< Table-1 style diagnosis
+};
+
+/// Size a two-stage opamp to \p spec. Blind mode ignores APE entirely;
+/// seeded mode calls the APE internally for the starting point.
+SynthesisOutcome synthesize_opamp(const est::Process& proc,
+                                  const est::OpAmpSpec& spec,
+                                  const SynthesisOptions& opts);
+
+/// Outcome of one analog-module synthesis run.
+struct ModuleSynthesisOutcome {
+  est::ModuleDesign design;
+  double cost = 0.0;
+  bool functional = false;
+  double cpu_seconds = 0.0;
+  bool meets_spec = false;
+  std::string comment;
+  // Simulator-verified module metrics (meaning depends on the kind).
+  double sim_gain = 0.0;
+  double sim_bw_hz = 0.0;
+  double sim_f3db_hz = 0.0;
+  double sim_f20db_hz = 0.0;
+  double sim_f0_hz = 0.0;
+  double sim_delay_s = 0.0;
+  double sim_slew = 0.0;
+  double sim_area = 0.0;   ///< est area of the found sizes (geometry-derived)
+};
+
+/// Size an analog module (Table 5): the unknowns are every constituent
+/// opamp's geometry plus the passive values.
+ModuleSynthesisOutcome synthesize_module(const est::Process& proc,
+                                         const est::ModuleSpec& spec,
+                                         const SynthesisOptions& opts);
+
+/// Simulator verification of a module design (fills the sim_* fields of
+/// a ModuleSynthesisOutcome; also used for APE-only rows of Table 5).
+void verify_module(const est::Process& proc, const est::ModuleDesign& d,
+                   ModuleSynthesisOutcome& out);
+
+}  // namespace ape::synth

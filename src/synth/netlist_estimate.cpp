@@ -1,0 +1,43 @@
+#include "src/synth/netlist_estimate.h"
+
+#include <cmath>
+
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+#include "src/spice/parser.h"
+
+namespace ape::synth {
+
+NetlistEstimate estimate_netlist(const std::string& netlist,
+                                 const NetlistEstimateOptions& opts) {
+  spice::Circuit ckt = spice::parse_netlist(netlist);
+  const auto sol = spice::dc_operating_point(ckt);
+
+  NetlistEstimate e;
+  e.n_nodes = static_cast<int>(ckt.num_nodes());
+  e.out_dc = spice::node_voltage(ckt, sol, opts.out_node);
+  for (const auto& dev : ckt.devices()) {
+    if (const auto* m = dynamic_cast<const spice::Mosfet*>(dev.get())) {
+      e.gate_area_m2 += m->width() * m->length();
+      ++e.n_mosfets;
+    }
+  }
+  if (!opts.supply_source.empty()) {
+    const double i = spice::source_current(ckt, sol, opts.supply_source);
+    // Power across the source's own DC value.
+    const auto& vs = ckt.find_as<spice::VSource>(opts.supply_source);
+    e.power_w = std::fabs(i * vs.wave().value(0.0));
+  }
+
+  const AweModel model = awe_reduce(ckt, opts.out_node, opts.awe_order,
+                                    opts.exclude, opts.ground_ties);
+  e.dc_gain = std::fabs(model.dc_gain());
+  e.poles = model.poles();
+  const double ugf = model.unity_gain_freq();
+  if (ugf > 0.0) e.ugf_hz = ugf;
+  const double f3 = model.f_3db();
+  if (f3 > 0.0) e.f3db_hz = f3;
+  return e;
+}
+
+}  // namespace ape::synth

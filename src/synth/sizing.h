@@ -1,0 +1,84 @@
+#pragma once
+/// \file sizing.h
+/// The circuit-sizing problem the ASTRX/OBLX-like engine optimizes: a
+/// fixed opamp topology whose device geometries and compensation are the
+/// unknowns (paper section 3: "the circuit topology is already selected;
+/// the transistor sizes and bias points are set as unknowns; the user
+/// provides intervals to establish ranges of allowable values").
+///
+/// Candidate points are scored by an analytic evaluation: the DC bias is
+/// solved per branch from the model cards (including the second stage's
+/// operating-point consistency, which is where blind search most often
+/// produces non-functional designs), then the small-signal performance
+/// composition. Final designs are always re-verified on the full MNA
+/// simulator.
+
+#include <string>
+#include <vector>
+
+#include "src/estimator/opamp.h"
+#include "src/estimator/process.h"
+
+namespace ape::synth {
+
+/// The unknown vector of the two-stage (optionally buffered) opamp.
+struct OpAmpVars {
+  double w1 = 10e-6, l1 = 2.4e-6;  ///< input pair
+  double w3 = 10e-6, l3 = 2.4e-6;  ///< PMOS mirror load (and M6's Vov ref)
+  double w5 = 10e-6, l5 = 4.8e-6;  ///< tail device
+  double w6 = 20e-6, l6 = 2.4e-6;  ///< second-stage PMOS
+  double w7 = 10e-6, l7 = 2.4e-6;  ///< second-stage sink
+  double w8 = 5e-6;                ///< bias diode
+  double l8 = 4.8e-6;              ///< bias diode length
+  double w9 = 0.0, w10 = 0.0;      ///< buffer devices (0 = unbuffered)
+  double cc = 2e-12;               ///< Miller capacitor
+
+  bool buffered() const { return w9 > 0.0; }
+
+  /// Flatten to the optimizer vector (13 entries, 15 when buffered).
+  std::vector<double> pack() const;
+  static OpAmpVars unpack(const std::vector<double>& x, bool buffered);
+  static std::vector<std::string> names(bool buffered);
+};
+
+/// Analytic performance evaluation at a candidate point.
+struct OpAmpEval {
+  bool functional = false;  ///< bias point exists with all devices saturated
+  double gain = 0.0;
+  double ugf_hz = 0.0;
+  double phase_margin = 0.0;
+  double gate_area = 0.0;   ///< [m^2]
+  double dc_power = 0.0;    ///< [W]
+  double slew = 0.0;        ///< [V/s]
+  double zout = 0.0;
+  double itail = 0.0;
+  double imbalance = 0.0;   ///< second-stage current mismatch when stuck
+};
+
+/// Evaluate an opamp candidate against the process at (ibias, cload).
+OpAmpEval evaluate_opamp_vars(const est::Process& proc, const OpAmpVars& v,
+                              double ibias, double cload);
+
+/// Scalarized ASTRX-style cost: sum of squared relative constraint
+/// violations (gain/UGF/area/phase margin) plus a small power objective;
+/// non-functional points get a large plateau plus an imbalance hint.
+double opamp_cost(const OpAmpEval& e, const est::OpAmpSpec& spec);
+
+/// Search box helpers.
+/// Blind (Table 1): the full technology-legal ranges.
+std::vector<std::pair<double, double>> blind_bounds(const est::Process& proc,
+                                                    bool buffered);
+/// APE-seeded (Table 4): +/- frac around the seed point.
+std::vector<std::pair<double, double>> seeded_bounds(
+    const std::vector<double>& seed, double frac,
+    const est::Process& proc, bool buffered);
+
+/// Extract the unknown vector from an APE design (the seed point).
+OpAmpVars vars_from_design(const est::OpAmpDesign& d);
+
+/// Materialize a full OpAmpDesign (for netlisting / SPICE verification)
+/// from a candidate point; perf fields come from the analytic evaluation.
+est::OpAmpDesign design_from_vars(const est::Process& proc, const OpAmpVars& v,
+                                  const est::OpAmpSpec& spec);
+
+}  // namespace ape::synth

@@ -1,0 +1,44 @@
+#pragma once
+/// \file error.h
+/// Error hierarchy for the APE library.
+///
+/// All library errors derive from ape::Error (itself a std::runtime_error)
+/// so callers can catch either the whole family or a specific condition.
+
+#include <stdexcept>
+#include <string>
+
+namespace ape {
+
+/// Base class of every exception thrown by the APE library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A user specification cannot be met (e.g. requested gm at the given
+/// bias current implies a non-physical device).
+class SpecError : public Error {
+public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed netlist / model card input.
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical procedure failed (singular matrix, Newton divergence, ...).
+class NumericError : public Error {
+public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Request references an unknown topology / component / parameter.
+class LookupError : public Error {
+public:
+  explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ape

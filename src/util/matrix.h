@@ -1,0 +1,130 @@
+#pragma once
+/// \file matrix.h
+/// Dense matrix and LU factorization used by the MNA solvers.
+///
+/// The circuits APE deals with are small (tens of nodes), so a dense
+/// row-major matrix with partially pivoted LU is both simple and fast
+/// enough; no sparse machinery is warranted.
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace ape {
+
+/// Dense row-major matrix over double or std::complex<double>.
+template <typename T>
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  T& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Reset every entry to zero, keeping the shape.
+  void set_zero() { data_.assign(data_.size(), T{}); }
+
+  /// Largest absolute entry; used for scaling singularity checks.
+  double max_abs() const {
+    double m = 0.0;
+    for (const T& v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// In-place LU factorization with partial pivoting.
+///
+/// Factorizes once, then solves repeatedly — the AC sweep and the AWE
+/// moment recursion both reuse a factorization for many right-hand sides.
+template <typename T>
+class LuSolver {
+public:
+  /// Factorize \p a (copied). Throws NumericError on (numerical) singularity.
+  explicit LuSolver(Matrix<T> a) : lu_(std::move(a)), pivot_(lu_.rows()) {
+    if (lu_.rows() != lu_.cols()) throw NumericError("LU: matrix not square");
+    factorize();
+  }
+
+  size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b; returns x. \p b must have size() entries.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    if (b.size() != size()) throw NumericError("LU: rhs size mismatch");
+    std::vector<T> x(size());
+    for (size_t i = 0; i < size(); ++i) x[i] = b[pivot_[i]];
+    // Forward substitution (unit lower-triangular L).
+    for (size_t i = 1; i < size(); ++i) {
+      T sum = x[i];
+      for (size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+      x[i] = sum;
+    }
+    // Back substitution (U).
+    for (size_t ii = size(); ii-- > 0;) {
+      T sum = x[ii];
+      for (size_t j = ii + 1; j < size(); ++j) sum -= lu_(ii, j) * x[j];
+      x[ii] = sum / lu_(ii, ii);
+    }
+    return x;
+  }
+
+private:
+  void factorize() {
+    const size_t n = lu_.rows();
+    const double scale = lu_.max_abs();
+    if (scale == 0.0) throw NumericError("LU: zero matrix");
+    for (size_t i = 0; i < n; ++i) pivot_[i] = i;
+    for (size_t k = 0; k < n; ++k) {
+      // Partial pivot: find the largest |a_ik| at or below the diagonal.
+      size_t p = k;
+      double best = std::abs(lu_(k, k));
+      for (size_t i = k + 1; i < n; ++i) {
+        const double v = std::abs(lu_(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      if (best <= scale * 1e-300) {
+        throw NumericError("LU: matrix is singular at column " + std::to_string(k));
+      }
+      if (p != k) {
+        for (size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+        std::swap(pivot_[k], pivot_[p]);
+      }
+      for (size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / lu_(k, k);
+        lu_(i, k) = m;
+        if (m != T{}) {
+          for (size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+        }
+      }
+    }
+  }
+
+  Matrix<T> lu_;
+  std::vector<size_t> pivot_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+}  // namespace ape

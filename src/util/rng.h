@@ -1,0 +1,40 @@
+#pragma once
+/// \file rng.h
+/// Deterministic random-number wrapper used by the annealing engine.
+///
+/// A thin facade over std::mt19937_64 so that every stochastic component
+/// takes an explicit, seedable generator — benches and tests stay
+/// reproducible run-to-run.
+
+#include <cstdint>
+#include <random>
+
+namespace ape {
+
+class Rng {
+public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return dist_(gen_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  size_t index(size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(gen_);
+  }
+
+  /// Standard normal deviate.
+  double gauss() { return normal_(gen_); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace ape

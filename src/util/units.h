@@ -1,0 +1,26 @@
+#pragma once
+/// \file units.h
+/// SI-prefixed engineering value parsing and formatting, SPICE style.
+///
+/// SPICE number suffixes: f p n u m k meg g t (case-insensitive), plus
+/// "mil" (25.4 um). Trailing alphabetic unit names are ignored after the
+/// scale suffix ("10pF" == 10e-12).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ape::units {
+
+/// Parse a SPICE-style engineering number ("2.5u", "10MEG", "4.7k", "1e-6").
+/// Returns std::nullopt on malformed input.
+std::optional<double> parse(std::string_view text);
+
+/// Parse, throwing ape::ParseError with \p context in the message on failure.
+double parse_or_throw(std::string_view text, std::string_view context);
+
+/// Format a value with an engineering SI prefix, e.g. 2.5e-6 -> "2.5u".
+/// \p digits controls significant digits of the mantissa.
+std::string format_eng(double value, int digits = 4);
+
+}  // namespace ape::units

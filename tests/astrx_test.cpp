@@ -1,0 +1,123 @@
+#include "src/synth/astrx.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace ape::synth {
+namespace {
+
+using est::ModuleKind;
+using est::ModuleSpec;
+using est::OpAmpSpec;
+using est::Process;
+
+OpAmpSpec easy_spec() {
+  OpAmpSpec s;
+  s.gain = 150.0;
+  s.ugf_hz = 3e6;
+  s.ibias = 10e-6;
+  s.cload = 10e-12;
+  s.area_budget = 20000e-12;
+  return s;
+}
+
+TEST(Astrx, SeededSynthesisMeetsSpec) {
+  const Process proc = Process::default_1u2();
+  SynthesisOptions opts;
+  opts.use_ape_seed = true;
+  opts.anneal.iterations = 3000;
+  opts.anneal.seed = 5;
+  const auto r = synthesize_opamp(proc, easy_spec(), opts);
+  EXPECT_TRUE(r.functional);
+  EXPECT_TRUE(r.meets_spec) << r.comment;
+  EXPECT_GE(r.sim.gain, 0.9 * 150.0);
+  ASSERT_TRUE(r.sim.ugf_hz.has_value());
+  EXPECT_GE(*r.sim.ugf_hz, 0.9 * 3e6);
+  EXPECT_GT(r.cpu_seconds, 0.0);
+}
+
+TEST(Astrx, SeededBeatsBlindOnEqualBudget) {
+  const Process proc = Process::default_1u2();
+  SynthesisOptions blind;
+  blind.use_ape_seed = false;
+  blind.anneal.iterations = 3000;
+  blind.anneal.seed = 5;
+  const auto rb = synthesize_opamp(proc, easy_spec(), blind);
+  SynthesisOptions seeded = blind;
+  seeded.use_ape_seed = true;
+  const auto rs = synthesize_opamp(proc, easy_spec(), seeded);
+  // The Table 1 vs Table 4 contrast in one assertion.
+  EXPECT_LE(rs.cost, rb.cost);
+  EXPECT_TRUE(rs.meets_spec);
+}
+
+TEST(Astrx, BlindGetsDiagnosticComment) {
+  const Process proc = Process::default_1u2();
+  SynthesisOptions blind;
+  blind.use_ape_seed = false;
+  blind.anneal.iterations = 400;  // starved on purpose
+  blind.anneal.seed = 17;
+  const auto r = synthesize_opamp(proc, easy_spec(), blind);
+  EXPECT_FALSE(r.comment.empty());
+  EXPECT_NE(r.comment, "Meets spec");
+}
+
+TEST(Astrx, TighterIntervalsInheritTheSeed) {
+  const Process proc = Process::default_1u2();
+  SynthesisOptions opts;
+  opts.use_ape_seed = true;
+  opts.interval_frac = 0.02;  // almost frozen at the APE point
+  opts.anneal.iterations = 500;
+  const auto r = synthesize_opamp(proc, easy_spec(), opts);
+  EXPECT_TRUE(r.functional);
+  // The APE seed already meets this spec, so near-zero intervals do too.
+  EXPECT_TRUE(r.meets_spec) << r.comment;
+}
+
+TEST(Astrx, ModuleSeededSynthesisLpf) {
+  const Process proc = Process::default_1u2();
+  ModuleSpec spec;
+  spec.kind = ModuleKind::LowPassFilter;
+  spec.order = 4;
+  spec.f0_hz = 1e3;
+  SynthesisOptions opts;
+  opts.use_ape_seed = true;
+  opts.anneal.iterations = 800;
+  opts.anneal.seed = 7;
+  const auto r = synthesize_module(proc, spec, opts);
+  EXPECT_TRUE(r.functional);
+  EXPECT_TRUE(r.meets_spec) << r.comment;
+  EXPECT_NEAR(r.sim_f3db_hz, 1e3, 150.0);
+}
+
+TEST(Astrx, ModuleBlindUsuallyFailsOnBudget) {
+  const Process proc = Process::default_1u2();
+  ModuleSpec spec;
+  spec.kind = ModuleKind::BandPassFilter;
+  spec.order = 2;
+  spec.f0_hz = 1e3;
+  SynthesisOptions blind;
+  blind.use_ape_seed = false;
+  blind.anneal.iterations = 400;
+  blind.anneal.seed = 3;
+  const auto r = synthesize_module(proc, spec, blind);
+  EXPECT_FALSE(r.meets_spec);
+}
+
+TEST(Astrx, VerifyModuleFillsSimFields) {
+  const Process proc = Process::default_1u2();
+  ModuleSpec spec;
+  spec.kind = ModuleKind::AudioAmp;
+  spec.gain = 100.0;
+  spec.bw_hz = 20e3;
+  const est::ModuleDesign d = est::ModuleEstimator(proc).estimate(spec);
+  ModuleSynthesisOutcome out;
+  verify_module(proc, d, out);
+  EXPECT_NEAR(std::fabs(out.sim_gain), 100.0, 10.0);
+  EXPECT_GT(out.sim_bw_hz, 20e3 * 0.8);
+  EXPECT_GT(out.sim_area, 0.0);
+}
+
+}  // namespace
+}  // namespace ape::synth

@@ -1,0 +1,172 @@
+#include "src/estimator/components.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimator/verify.h"
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class ComponentTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+  ComponentEstimator ce_{proc_};
+};
+
+TEST_F(ComponentTest, DcVoltProducesReference) {
+  ComponentSpec s{ComponentKind::DcVolt, 100e-6, 0.0, 2.5, 0.0};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_NEAR(r.gain, 2.5, 0.1);  // simulated output voltage
+  EXPECT_NEAR(r.power, d.perf.dc_power, d.perf.dc_power * 0.1);
+}
+
+TEST_F(ComponentTest, DcVoltRejectsRailReference) {
+  ComponentSpec s{ComponentKind::DcVolt, 100e-6, 0.0, 4.95, 0.0};
+  EXPECT_THROW(ce_.estimate(s), SpecError);
+}
+
+TEST_F(ComponentTest, MirrorCopiesCurrentWithinLambdaError) {
+  ComponentSpec s{ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_NEAR(r.current, 100e-6, 8e-6);
+  EXPECT_NEAR(d.perf.current, r.current, r.current * 0.05);
+  EXPECT_GT(r.zout, 1e5);
+}
+
+TEST_F(ComponentTest, WilsonBeatsSimpleMirrorOutputImpedance) {
+  ComponentSpec sm{ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0};
+  ComponentSpec sw{ComponentKind::WilsonSource, 100e-6, 0.0, 0.0, 0.0};
+  const ComponentSimReport rm = simulate_component(ce_.estimate(sm), proc_);
+  const ComponentSimReport rw = simulate_component(ce_.estimate(sw), proc_);
+  EXPECT_GT(rw.zout, 10.0 * rm.zout);
+}
+
+TEST_F(ComponentTest, CascodeAlsoBoostsImpedance) {
+  ComponentSpec sm{ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0};
+  ComponentSpec sc{ComponentKind::CascodeSource, 100e-6, 0.0, 0.0, 0.0};
+  const ComponentSimReport rm = simulate_component(ce_.estimate(sm), proc_);
+  const ComponentSimReport rc = simulate_component(ce_.estimate(sc), proc_);
+  EXPECT_GT(rc.zout, 10.0 * rm.zout);
+}
+
+TEST_F(ComponentTest, GainNmosHitsGainTarget) {
+  ComponentSpec s{ComponentKind::GainNmos, 120e-6, 8.5, 0.0, 1e-12};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_NEAR(d.perf.gain, -8.5, 0.5);
+  EXPECT_NEAR(r.gain, d.perf.gain, std::fabs(d.perf.gain) * 0.1);
+}
+
+TEST_F(ComponentTest, GainNmosInfeasibleGainThrows) {
+  ComponentSpec s{ComponentKind::GainNmos, 120e-6, 500.0, 0.0, 1e-12};
+  EXPECT_THROW(ce_.estimate(s), SpecError);
+}
+
+TEST_F(ComponentTest, GainCmosHalfUsesLessPower) {
+  ComponentSpec full{ComponentKind::GainCmos, 120e-6, 5.0, 0.0, 1e-12};
+  ComponentSpec half{ComponentKind::GainCmosHalf, 120e-6, 5.0, 0.0, 1e-12};
+  const ComponentDesign df = ce_.estimate(full);
+  const ComponentDesign dh = ce_.estimate(half);
+  EXPECT_LT(dh.perf.dc_power, 0.6 * df.perf.dc_power);
+  EXPECT_LT(dh.perf.ugf_hz, df.perf.ugf_hz);
+}
+
+TEST_F(ComponentTest, FollowerGainBelowUnity) {
+  ComponentSpec s{ComponentKind::Follower, 100e-6, 0.0, 0.0, 1e-12};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_GT(d.perf.gain, 0.7);
+  EXPECT_LT(d.perf.gain, 1.0);
+  EXPECT_NEAR(r.gain, d.perf.gain, 0.05);
+  EXPECT_LT(d.perf.zout, 5e3);
+}
+
+TEST_F(ComponentTest, DiffCmosMatchesPaperEquationFive) {
+  // Adm ~ gm_i / (gd_l + gd_i): the composed estimate must agree with the
+  // sized devices' small-signal parameters.
+  ComponentSpec s{ComponentKind::DiffCmos, 1e-6, 1000.0, 0.0, 0.5e-12};
+  const ComponentDesign d = ce_.estimate(s);
+  const TransistorDesign& pair = d.transistors[0];
+  const TransistorDesign& load = d.transistors[3];
+  EXPECT_NEAR(d.perf.gain, pair.gm / (pair.gds + load.gds),
+              d.perf.gain * 1e-6);
+}
+
+TEST_F(ComponentTest, DiffCmosSimulationAgreesWithEstimate) {
+  ComponentSpec s{ComponentKind::DiffCmos, 1e-6, 1000.0, 0.0, 0.5e-12};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_NEAR(r.gain, d.perf.gain, d.perf.gain * 0.1);
+  ASSERT_TRUE(r.ugf_hz.has_value());
+  EXPECT_NEAR(*r.ugf_hz, d.perf.ugf_hz, d.perf.ugf_hz * 0.25);
+  ASSERT_TRUE(r.cmrr_db.has_value());
+  EXPECT_NEAR(*r.cmrr_db, d.perf.cmrr_db, 20.0);
+}
+
+TEST_F(ComponentTest, DiffNmosNegativeModestGain) {
+  ComponentSpec s{ComponentKind::DiffNmos, 1e-6, 10.0, 0.0, 0.5e-12};
+  const ComponentDesign d = ce_.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc_);
+  EXPECT_NEAR(d.perf.gain, -10.0, 1.0);
+  EXPECT_NEAR(r.gain, d.perf.gain, std::fabs(d.perf.gain) * 0.15);
+}
+
+TEST_F(ComponentTest, TestbenchMissingRoleThrows) {
+  ComponentSpec s{ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0};
+  ComponentDesign d = ce_.estimate(s);
+  d.roles[0] = "bogus";
+  EXPECT_THROW(d.testbench(proc_), LookupError);
+}
+
+TEST_F(ComponentTest, ToStringCoversAllKinds) {
+  for (auto k : {ComponentKind::DcVolt, ComponentKind::CurrentMirror,
+                 ComponentKind::WilsonSource, ComponentKind::CascodeSource,
+                 ComponentKind::GainNmos, ComponentKind::GainCmos,
+                 ComponentKind::GainCmosHalf, ComponentKind::Follower,
+                 ComponentKind::DiffNmos, ComponentKind::DiffCmos}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+/// Property sweep: mirror current copy tracks Ibias across decades, and
+/// the estimate matches the simulation within a tight band.
+class MirrorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MirrorSweep, EstimateTracksSimulation) {
+  const Process proc = Process::default_1u2();
+  const ComponentEstimator ce(proc);
+  const double ibias = GetParam();
+  ComponentSpec s{ComponentKind::CurrentMirror, ibias, 0.0, 0.0, 0.0};
+  const ComponentDesign d = ce.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc);
+  EXPECT_NEAR(r.current, ibias, ibias * 0.1);
+  EXPECT_NEAR(d.perf.current, r.current, r.current * 0.05);
+  EXPECT_NEAR(d.perf.zout, r.zout, r.zout * 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, MirrorSweep,
+                         ::testing::Values(1e-6, 10e-6, 100e-6, 500e-6));
+
+/// Property sweep: gain-stage estimates agree with simulation across the
+/// feasible gain range.
+class GainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainSweep, CmosStageEstimateVsSim) {
+  const Process proc = Process::default_1u2();
+  const ComponentEstimator ce(proc);
+  ComponentSpec s{ComponentKind::GainCmos, 120e-6, GetParam(), 0.0, 1e-12};
+  const ComponentDesign d = ce.estimate(s);
+  const ComponentSimReport r = simulate_component(d, proc);
+  EXPECT_NEAR(r.gain, d.perf.gain, std::fabs(d.perf.gain) * 0.1);
+  EXPECT_NEAR(d.perf.gain, -GetParam(), GetParam() * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, GainSweep, ::testing::Values(3.0, 8.0, 15.0));
+
+}  // namespace
+}  // namespace ape::est

@@ -1,0 +1,84 @@
+#include "src/estimator/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+};
+
+TEST_F(ConstraintTest, GainChainMeetsSystemSpec) {
+  const auto a = allocate_gain_chain(proc_, 100.0, 20e3, 2);
+  ASSERT_EQ(a.designs.size(), 2u);
+  EXPECT_TRUE(a.feasible);
+  EXPECT_NEAR(a.system_gain, 100.0, 10.0);
+  EXPECT_GE(a.system_bw_hz, 20e3);
+  // Per-stage budgets carry the cascade-shrinkage factor: each stage's
+  // bandwidth exceeds the end-to-end requirement.
+  for (const auto& s : a.stage_specs) {
+    EXPECT_GT(s.bw_hz, 20e3);
+    EXPECT_NEAR(s.gain, 10.0, 0.01);
+  }
+}
+
+TEST_F(ConstraintTest, ThreeStageChainSharesGainEvenly) {
+  const auto a = allocate_gain_chain(proc_, 64.0, 10e3, 3);
+  EXPECT_TRUE(a.feasible);
+  for (const auto& s : a.stage_specs) EXPECT_NEAR(s.gain, 4.0, 0.01);
+  EXPECT_NEAR(a.system_gain, 64.0, 8.0);
+}
+
+TEST_F(ConstraintTest, SingleStageNeedsNoShrinkage) {
+  const auto a = allocate_gain_chain(proc_, 10.0, 20e3, 1);
+  EXPECT_TRUE(a.feasible);
+  EXPECT_NEAR(a.stage_specs[0].bw_hz, 20e3, 1.0);
+}
+
+TEST_F(ConstraintTest, GainChainRejectsBadSpecs) {
+  EXPECT_THROW(allocate_gain_chain(proc_, 0.5, 1e3, 2), SpecError);
+  EXPECT_THROW(allocate_gain_chain(proc_, 10.0, 1e3, 0), SpecError);
+  EXPECT_THROW(allocate_gain_chain(proc_, 10.0, -1.0, 2), SpecError);
+}
+
+TEST_F(ConstraintTest, GainChainAreaBudgetEnforced) {
+  const auto tight = allocate_gain_chain(proc_, 100.0, 20e3, 2, 1e-12);
+  EXPECT_FALSE(tight.feasible);  // 1 um^2 is never enough
+  const auto loose = allocate_gain_chain(proc_, 100.0, 20e3, 2, 1e-6);
+  EXPECT_TRUE(loose.feasible);
+}
+
+TEST_F(ConstraintTest, AmpFilterChainHoldsTheCorner) {
+  const auto a = allocate_amp_filter_chain(proc_, 20.0, 1e3);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.designs.size(), 2u);
+  // The composed corner sits within a few percent of the filter's 1 kHz.
+  EXPECT_NEAR(a.system_bw_hz, 1e3, 60.0);
+  // System gain = amp gain * filter passband gain (2.575 for the
+  // 4th-order equal-RC Sallen-Key cascade).
+  EXPECT_NEAR(a.system_gain, 20.0 * 2.575, 5.0);
+  // The transformed amplifier constraint is at least the 2x f0 floor
+  // (the search widens it only if the composed corner sags - APE's
+  // amplifiers carry enough margin that the floor usually suffices).
+  EXPECT_GE(a.stage_specs[0].bw_hz, 2.0 * 1e3);
+}
+
+TEST_F(ConstraintTest, AmpFilterSearchIterates) {
+  const auto a = allocate_amp_filter_chain(proc_, 20.0, 1e3);
+  EXPECT_GE(a.iterations, 1);
+  EXPECT_LE(a.iterations, 12);
+}
+
+TEST_F(ConstraintTest, AmpFilterRejectsBadSpecs) {
+  EXPECT_THROW(allocate_amp_filter_chain(proc_, 0.5, 1e3), SpecError);
+  EXPECT_THROW(allocate_amp_filter_chain(proc_, 10.0, 0.0), SpecError);
+}
+
+}  // namespace
+}  // namespace ape::est

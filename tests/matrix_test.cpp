@@ -1,0 +1,122 @@
+#include "src/util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+namespace ape {
+namespace {
+
+TEST(Matrix, StartsZeroed) {
+  RealMatrix m(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, SetZeroClearsEntries) {
+  RealMatrix m(2, 2);
+  m(0, 1) = 5.0;
+  m.set_zero();
+  EXPECT_EQ(m(0, 1), 0.0);
+}
+
+TEST(Lu, SolvesIdentity) {
+  RealMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  LuSolver<double> lu(m);
+  const auto x = lu.solve({3.0, -7.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -7.0);
+}
+
+TEST(Lu, Solves2x2) {
+  RealMatrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 3.0;
+  LuSolver<double> lu(m);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  RealMatrix m(2, 2);
+  m(0, 0) = 0.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 0.0;
+  LuSolver<double> lu(m);
+  const auto x = lu.solve({2.0, 9.0});
+  EXPECT_NEAR(x[0], 9.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  RealMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 4.0;
+  EXPECT_THROW(LuSolver<double> lu(m), NumericError);
+}
+
+TEST(Lu, ThrowsOnZeroMatrix) {
+  RealMatrix m(3, 3);
+  EXPECT_THROW(LuSolver<double> lu(m), NumericError);
+}
+
+TEST(Lu, ThrowsOnRhsSizeMismatch) {
+  RealMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  LuSolver<double> lu(m);
+  EXPECT_THROW(lu.solve({1.0}), NumericError);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  ComplexMatrix m(2, 2);
+  m(0, 0) = C{1.0, 1.0};
+  m(0, 1) = C{0.0, 0.0};
+  m(1, 0) = C{0.0, 0.0};
+  m(1, 1) = C{0.0, 2.0};
+  LuSolver<C> lu(m);
+  const auto x = lu.solve({C{2.0, 0.0}, C{0.0, 4.0}});
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 2.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), 0.0, 1e-12);
+}
+
+/// Property: random well-conditioned systems solve to residual ~ 0.
+TEST(Lu, RandomSystemsResidualProperty) {
+  std::mt19937_64 gen(12345);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(trial % 12);
+    RealMatrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+      a(i, i) += 4.0;  // diagonal dominance => well-conditioned
+    }
+    std::vector<double> b(n);
+    for (auto& v : b) v = dist(gen);
+    RealMatrix a_copy = a;
+    LuSolver<double> lu(std::move(a_copy));
+    const auto x = lu.solve(b);
+    for (size_t i = 0; i < n; ++i) {
+      double r = -b[i];
+      for (size_t j = 0; j < n; ++j) r += a(i, j) * x[j];
+      EXPECT_NEAR(r, 0.0, 1e-9) << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ape

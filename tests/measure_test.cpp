@@ -1,0 +1,147 @@
+#include "src/spice/measure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/circuit.h"
+#include "src/spice/devices.h"
+
+namespace ape::spice {
+namespace {
+
+/// Build a synthetic AC result for H(s) = A0 / (1 + s/p) at node 0.
+AcResult synth_single_pole(double a0, double pole_hz, double f0, double f1,
+                           int pts) {
+  AcResult ac;
+  for (int k = 0; k < pts; ++k) {
+    const double f = f0 * std::pow(f1 / f0, static_cast<double>(k) / (pts - 1));
+    const std::complex<double> s{0.0, f / pole_hz};
+    ac.freq_hz.push_back(f);
+    ac.solutions.push_back({a0 / (1.0 + s)});
+  }
+  return ac;
+}
+
+TEST(Measure, DcGainAndPole) {
+  const auto ac = synth_single_pole(100.0, 1e4, 1.0, 1e8, 400);
+  const Bode bode(ac, 0);
+  EXPECT_NEAR(bode.dc_gain(), 100.0, 0.01);
+  ASSERT_TRUE(bode.f_3db().has_value());
+  EXPECT_NEAR(*bode.f_3db(), 1e4, 100.0);
+}
+
+TEST(Measure, UnityGainFrequencyOfSinglePole) {
+  // UGF ~ A0 * pole for A0 >> 1.
+  const auto ac = synth_single_pole(100.0, 1e4, 1.0, 1e8, 400);
+  const Bode bode(ac, 0);
+  ASSERT_TRUE(bode.unity_gain_freq().has_value());
+  EXPECT_NEAR(*bode.unity_gain_freq(), 1e6, 2e4);
+}
+
+TEST(Measure, PhaseMarginOfSinglePoleIsNear90) {
+  const auto ac = synth_single_pole(100.0, 1e4, 1.0, 1e8, 400);
+  const Bode bode(ac, 0);
+  ASSERT_TRUE(bode.phase_margin_deg().has_value());
+  EXPECT_NEAR(*bode.phase_margin_deg(), 90.6, 2.0);
+}
+
+TEST(Measure, NoUnityCrossingReturnsNullopt) {
+  const auto ac = synth_single_pole(0.5, 1e4, 1.0, 1e6, 100);
+  const Bode bode(ac, 0);
+  EXPECT_FALSE(bode.unity_gain_freq().has_value());
+}
+
+TEST(Measure, MagAtInterpolates) {
+  const auto ac = synth_single_pole(10.0, 1e3, 1.0, 1e6, 200);
+  const Bode bode(ac, 0);
+  EXPECT_NEAR(bode.mag_at(1e3), 10.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(bode.mag_at(0.1), 10.0, 0.01);   // below sweep -> first point
+  EXPECT_NEAR(bode.mag_at(1e7), bode.mag(bode.size() - 1), 1e-9);
+}
+
+TEST(Measure, BandPassPeakAndBandwidth) {
+  // H = s/w0 / (1 + s/(Q w0) + (s/w0)^2), Q = 1, f0 = 1 kHz.
+  AcResult ac;
+  const double f0 = 1e3, q = 1.0;
+  for (int k = 0; k < 600; ++k) {
+    const double f = 10.0 * std::pow(1e5 / 10.0, k / 599.0);
+    const std::complex<double> s{0.0, f / f0};
+    ac.freq_hz.push_back(f);
+    ac.solutions.push_back({s / (1.0 + s / q + s * s)});
+  }
+  const Bode bode(ac, 0);
+  EXPECT_NEAR(bode.peak_freq(), f0, 20.0);
+  EXPECT_NEAR(bode.peak_gain(), 1.0, 0.01);
+  ASSERT_TRUE(bode.bandwidth_3db().has_value());
+  // For this biquad BW = f0 / Q.
+  EXPECT_NEAR(*bode.bandwidth_3db(), f0 / q, 50.0);
+}
+
+TEST(Measure, SlewRateOfRamp) {
+  TranResult tr;
+  for (int k = 0; k <= 100; ++k) {
+    tr.time_s.push_back(k * 1e-6);
+    Solution s;
+    s.x = {k * 1e-6 * 2e6};  // 2 V/us ramp
+    tr.solutions.push_back(s);
+  }
+  EXPECT_NEAR(slew_rate(tr, 0) / 1e6, 2.0, 1e-6);
+}
+
+TEST(Measure, CrossingTimeInterpolates) {
+  TranResult tr;
+  for (int k = 0; k <= 10; ++k) {
+    tr.time_s.push_back(k * 1.0);
+    Solution s;
+    s.x = {static_cast<double>(k)};  // v = t
+    tr.solutions.push_back(s);
+  }
+  const auto t = crossing_time(tr, 0, 4.5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 4.5, 1e-9);
+}
+
+TEST(Measure, CrossingDirectionInferred) {
+  TranResult tr;
+  for (int k = 0; k <= 10; ++k) {
+    tr.time_s.push_back(k * 1.0);
+    Solution s;
+    s.x = {10.0 - k};  // falling
+    tr.solutions.push_back(s);
+  }
+  const auto t = crossing_time(tr, 0, 2.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 8.0, 1e-9);
+}
+
+TEST(Measure, SettlingTime) {
+  TranResult tr;
+  for (int k = 0; k <= 100; ++k) {
+    const double t = k * 1e-3;
+    tr.time_s.push_back(t);
+    Solution s;
+    s.x = {1.0 - std::exp(-t / 5e-3)};  // tau = 5 ms
+    tr.solutions.push_back(s);
+  }
+  const auto ts = settling_time(tr, 0, 0.02);
+  ASSERT_TRUE(ts.has_value());
+  // 2% settling of a first-order response ~= 4 tau = 20 ms (relative to the
+  // record's final value, slightly earlier).
+  EXPECT_GT(*ts, 5e-3);
+  EXPECT_LT(*ts, 25e-3);
+}
+
+TEST(Measure, NeverCrossesReturnsNullopt) {
+  TranResult tr;
+  for (int k = 0; k <= 5; ++k) {
+    tr.time_s.push_back(k * 1.0);
+    Solution s;
+    s.x = {0.0};
+    tr.solutions.push_back(s);
+  }
+  EXPECT_FALSE(crossing_time(tr, 0, 3.0).has_value());
+}
+
+}  // namespace
+}  // namespace ape::spice

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimator/modules.h"
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+#include "src/spice/measure.h"
+#include "src/spice/parser.h"
+#include "src/synth/astrx.h"
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class ExtraModuleTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+  ModuleEstimator me_{proc_};
+};
+
+TEST_F(ExtraModuleTest, InvertingAmpGainAndSign) {
+  ModuleSpec s;
+  s.kind = ModuleKind::InvertingAmp;
+  s.gain = 10.0;
+  s.bw_hz = 50e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.gain, 10.0, 0.3);
+  EXPECT_GE(d.perf.bw_hz, 50e3);
+
+  // Transistor-level: gain magnitude and the inverting sign.
+  const Testbench tb = d.testbench(proc_);
+  spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+  (void)spice::dc_operating_point(ckt);
+  const auto ac = spice::ac_analysis(ckt, 100.0, 100.0 * 1.01, 5);
+  const auto h = ac.voltage(ckt.find_node("out"), 0);
+  EXPECT_NEAR(std::abs(h), 10.0, 0.3);
+  EXPECT_LT(h.real(), 0.0);  // inverting
+}
+
+TEST_F(ExtraModuleTest, InvertingAmpRejectsZeroGain) {
+  ModuleSpec s;
+  s.kind = ModuleKind::InvertingAmp;
+  s.gain = 0.0;
+  EXPECT_THROW(me_.estimate(s), SpecError);
+}
+
+TEST_F(ExtraModuleTest, IntegratorUnityGainFrequency) {
+  ModuleSpec s;
+  s.kind = ModuleKind::Integrator;
+  s.f0_hz = 10e3;
+  s.gain = 100.0;  // DC gain of the lossy realization
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.f_unity_hz, 10e3, 1.5e3);
+  EXPECT_NEAR(d.perf.gain, 100.0, 10.0);
+  // The lossy corner sits at f_unity / dc_gain.
+  EXPECT_NEAR(d.perf.f3db_hz, 100.0, 20.0);
+}
+
+TEST_F(ExtraModuleTest, IntegratorRollsOffAtMinus20dBPerDecade) {
+  ModuleSpec s;
+  s.kind = ModuleKind::Integrator;
+  s.f0_hz = 10e3;
+  s.gain = 100.0;
+  const ModuleDesign d = me_.estimate(s);
+  const Testbench tb = d.testbench(proc_);
+  spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+  (void)spice::dc_operating_point(ckt);
+  const auto ac = spice::ac_analysis(ckt, 500.0, 50e3, 20);
+  const spice::Bode bode(ac, ckt.find_node("out"));
+  // One decade inside the integration region: |H(1k)| / |H(10k)| ~ 10.
+  EXPECT_NEAR(bode.mag_at(1e3) / bode.mag_at(10e3), 10.0, 1.0);
+}
+
+TEST_F(ExtraModuleTest, ComparatorDelayVerified) {
+  ModuleSpec s;
+  s.kind = ModuleKind::Comparator;
+  s.delay_s = 2e-6;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_LT(d.perf.delay_s, s.delay_s);
+  synth::ModuleSynthesisOutcome out;
+  synth::verify_module(proc_, d, out);
+  // Measured response within the budget and within ~2x of the estimate.
+  EXPECT_LT(out.sim_delay_s, 1.2 * s.delay_s);
+  EXPECT_GT(out.sim_delay_s, 0.3 * d.perf.delay_s);
+}
+
+TEST_F(ExtraModuleTest, AdderSumsAllInputs) {
+  ModuleSpec s;
+  s.kind = ModuleKind::Adder;
+  s.order = 3;
+  s.gain = 2.0;
+  s.bw_hz = 50e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.gain, 2.0, 0.1);
+
+  // DC check: shift input 1 by +0.1 V; out must move by -gain * 0.1.
+  const Testbench tb = d.testbench(proc_);
+  spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+  auto& vin = ckt.find_as<spice::VSource>("Vin");
+  const auto sol0 = spice::dc_operating_point(ckt);
+  const double out0 = spice::node_voltage(ckt, sol0, "out");
+
+  spice::Circuit ckt2 = spice::parse_netlist(tb.netlist);
+  ckt2.find_as<spice::VSource>("Vin").wave().dc = vin.wave().dc + 0.1;
+  const auto sol1 = spice::dc_operating_point(ckt2);
+  const double out1 = spice::node_voltage(ckt2, sol1, "out");
+  EXPECT_NEAR(out1 - out0, -0.2, 0.02);
+}
+
+TEST_F(ExtraModuleTest, AdderClampsInputCount) {
+  ModuleSpec s;
+  s.kind = ModuleKind::Adder;
+  s.order = 9;
+  s.gain = 1.0;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_EQ(d.spec.order, 4);
+}
+
+TEST_F(ExtraModuleTest, DacProducesExactMidCode) {
+  ModuleSpec s;
+  s.kind = ModuleKind::R2RDac;
+  s.order = 4;
+  s.delay_s = 2e-6;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.lsb_v, proc_.vdd / 16.0, 1e-9);
+
+  // Default testbench code is 0101 (bits 1 and 3 high) = 10 LSB.
+  const Testbench tb = d.testbench(proc_);
+  spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+  const auto sol = spice::dc_operating_point(ckt);
+  EXPECT_NEAR(spice::node_voltage(ckt, sol, "out"), 10.0 * proc_.vdd / 16.0,
+              0.03);
+}
+
+TEST_F(ExtraModuleTest, DacLadderIsMonotonicAcrossCodes) {
+  ModuleSpec s;
+  s.kind = ModuleKind::R2RDac;
+  s.order = 4;
+  s.delay_s = 2e-6;
+  const ModuleDesign d = me_.estimate(s);
+  const Testbench tb = d.testbench(proc_);
+  // Codes whose output stays inside the NMOS follower buffer's range
+  // (its output tops out near VDD - Vdsat6 - Vgs9 ~ 3.4 V).
+  double prev = -1.0;
+  for (int code = 4; code <= 10; ++code) {
+    spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+    for (int b = 0; b < 4; ++b) {
+      ckt.find_as<spice::VSource>("Vb" + std::to_string(b)).wave().dc =
+          ((code >> b) & 1) ? proc_.vdd : 0.0;
+    }
+    const auto sol = spice::dc_operating_point(ckt);
+    const double v = spice::node_voltage(ckt, sol, "out");
+    EXPECT_NEAR(v, code * proc_.vdd / 16.0, 0.05) << "code " << code;
+    EXPECT_GT(v, prev) << "code " << code;
+    prev = v;
+  }
+}
+
+TEST_F(ExtraModuleTest, DacRejectsSillyResolutions) {
+  ModuleSpec s;
+  s.kind = ModuleKind::R2RDac;
+  s.order = 16;
+  EXPECT_THROW(me_.estimate(s), SpecError);
+}
+
+TEST_F(ExtraModuleTest, SynthesisRejectsNonTable5Kinds) {
+  ModuleSpec s;
+  s.kind = ModuleKind::InvertingAmp;
+  s.gain = 10.0;
+  synth::SynthesisOptions opts;
+  EXPECT_THROW(synth::synthesize_module(proc_, s, opts), SpecError);
+}
+
+TEST_F(ExtraModuleTest, ToStringCoversNewKinds) {
+  for (auto k : {ModuleKind::InvertingAmp, ModuleKind::Integrator,
+                 ModuleKind::Comparator, ModuleKind::Adder, ModuleKind::R2RDac}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+}  // namespace
+}  // namespace ape::est

@@ -1,0 +1,185 @@
+#include "src/estimator/modules.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/analysis.h"
+#include "src/spice/measure.h"
+#include "src/spice/parser.h"
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class ModuleTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+  ModuleEstimator me_{proc_};
+
+  /// Transistor-level Bode of a module's testbench output.
+  spice::Bode sim_bode(const ModuleDesign& d, double f_lo, double f_hi) {
+    const Testbench tb = d.testbench(proc_);
+    spice::Circuit ckt = spice::parse_netlist(tb.netlist);
+    (void)spice::dc_operating_point(ckt);
+    const auto ac = spice::ac_analysis(ckt, f_lo, f_hi, 20);
+    return spice::Bode(ac, ckt.find_node("out"));
+  }
+};
+
+TEST_F(ModuleTest, AudioAmpGainAndBandwidth) {
+  ModuleSpec s;
+  s.kind = ModuleKind::AudioAmp;
+  s.gain = 100.0;
+  s.bw_hz = 20e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.gain, 100.0, 3.0);
+  EXPECT_GE(d.perf.bw_hz, 20e3);
+  const spice::Bode bode = sim_bode(d, 100.0, 10e6);
+  EXPECT_NEAR(bode.dc_gain(), d.perf.gain, d.perf.gain * 0.05);
+  ASSERT_TRUE(bode.f_3db().has_value());
+  EXPECT_NEAR(*bode.f_3db(), d.perf.bw_hz, d.perf.bw_hz * 0.3);
+}
+
+TEST_F(ModuleTest, AudioAmpRejectsSubUnityGain) {
+  ModuleSpec s;
+  s.kind = ModuleKind::AudioAmp;
+  s.gain = 0.5;
+  EXPECT_THROW(me_.estimate(s), SpecError);
+}
+
+TEST_F(ModuleTest, SampleHoldGainOfTwo) {
+  ModuleSpec s;
+  s.kind = ModuleKind::SampleHold;
+  s.gain = 2.0;
+  s.bw_hz = 20e3;
+  s.slew = 1e4;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.gain, 2.0, 0.1);
+  EXPECT_GE(d.perf.bw_hz, 20e3);
+  EXPECT_GE(d.perf.slew, 4.0 * s.slew * 0.9);  // sized with 4x margin
+  EXPECT_EQ(d.switches.size(), 1u);
+  const spice::Bode bode = sim_bode(d, 100.0, 10e6);
+  EXPECT_NEAR(bode.dc_gain(), 2.0, 0.1);
+}
+
+TEST_F(ModuleTest, FlashAdcDelayWithinBudget) {
+  ModuleSpec s;
+  s.kind = ModuleKind::FlashAdc;
+  s.order = 4;
+  s.delay_s = 5e-6;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_EQ(d.opamps.size(), 15u);
+  EXPECT_LT(d.perf.delay_s, s.delay_s);
+  EXPECT_GT(d.perf.delay_s, 0.1 * s.delay_s);
+}
+
+TEST_F(ModuleTest, FlashAdcRejectsSillyResolutions) {
+  ModuleSpec s;
+  s.kind = ModuleKind::FlashAdc;
+  s.order = 12;
+  EXPECT_THROW(me_.estimate(s), SpecError);
+}
+
+TEST_F(ModuleTest, LowPassButterworthCorner) {
+  ModuleSpec s;
+  s.kind = ModuleKind::LowPassFilter;
+  s.order = 4;
+  s.f0_hz = 1e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_EQ(d.opamps.size(), 2u);
+  EXPECT_NEAR(d.perf.f3db_hz, 1e3, 50.0);
+  // 4th-order Butterworth: f(-20dB)/f(-3dB) = 99^(1/8) ~= 1.777.
+  EXPECT_NEAR(d.perf.f20db_hz / d.perf.f3db_hz, 1.777, 0.08);
+  // Equal-RC Sallen-Key gain product: K1*K2 = (3-1/Q1)(3-1/Q2) ~= 2.575.
+  EXPECT_NEAR(d.perf.gain, 2.575, 0.05);
+}
+
+TEST_F(ModuleTest, LowPassTransistorSimMatchesEstimate) {
+  ModuleSpec s;
+  s.kind = ModuleKind::LowPassFilter;
+  s.order = 4;
+  s.f0_hz = 1e3;
+  const ModuleDesign d = me_.estimate(s);
+  const spice::Bode bode = sim_bode(d, 10.0, 100e3);
+  ASSERT_TRUE(bode.f_3db().has_value());
+  EXPECT_NEAR(*bode.f_3db(), d.perf.f3db_hz, d.perf.f3db_hz * 0.05);
+  EXPECT_NEAR(bode.dc_gain(), d.perf.gain, d.perf.gain * 0.05);
+}
+
+TEST_F(ModuleTest, SecondOrderLowPassSupported) {
+  ModuleSpec s;
+  s.kind = ModuleKind::LowPassFilter;
+  s.order = 2;
+  s.f0_hz = 5e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_EQ(d.opamps.size(), 1u);
+  EXPECT_NEAR(d.perf.f3db_hz, 5e3, 300.0);
+}
+
+TEST_F(ModuleTest, OddFilterOrderThrows) {
+  ModuleSpec s;
+  s.kind = ModuleKind::LowPassFilter;
+  s.order = 3;
+  EXPECT_THROW(me_.estimate(s), SpecError);
+}
+
+TEST_F(ModuleTest, BandPassCenterAndQ) {
+  ModuleSpec s;
+  s.kind = ModuleKind::BandPassFilter;
+  s.f0_hz = 1e3;
+  const ModuleDesign d = me_.estimate(s);
+  EXPECT_NEAR(d.perf.f0_hz, 1e3, 50.0);
+  EXPECT_NEAR(d.perf.bw_hz, 1e3, 100.0);   // Q = 1
+  EXPECT_NEAR(d.perf.gain, 2.0, 0.1);      // MFB: 2 Q^2
+  const spice::Bode bode = sim_bode(d, 10.0, 100e3);
+  EXPECT_NEAR(bode.peak_freq(), d.perf.f0_hz, d.perf.f0_hz * 0.05);
+  EXPECT_NEAR(bode.peak_gain(), d.perf.gain, d.perf.gain * 0.05);
+}
+
+TEST_F(ModuleTest, MacroTestbenchAgreesWithTransistorLevel) {
+  // The macromodel view (estimation path) and the transistor testbench
+  // (verification path) share the wiring; their responses must align.
+  ModuleSpec s;
+  s.kind = ModuleKind::BandPassFilter;
+  s.f0_hz = 2e3;
+  const ModuleDesign d = me_.estimate(s);
+  const Testbench macro = macro_testbench(d, proc_);
+  spice::Circuit cm = spice::parse_netlist(macro.netlist);
+  (void)spice::dc_operating_point(cm);
+  const auto acm = spice::ac_analysis(cm, 20.0, 200e3, 20);
+  const spice::Bode bm(acm, cm.find_node("out"));
+  const spice::Bode br = sim_bode(d, 20.0, 200e3);
+  EXPECT_NEAR(bm.peak_freq(), br.peak_freq(), br.peak_freq() * 0.05);
+  EXPECT_NEAR(bm.peak_gain(), br.peak_gain(), br.peak_gain() * 0.05);
+}
+
+TEST_F(ModuleTest, PassiveLookupThrowsOnMissingName) {
+  ModuleSpec s;
+  s.kind = ModuleKind::BandPassFilter;
+  s.f0_hz = 1e3;
+  ModuleDesign d = me_.estimate(s);
+  d.passives.clear();
+  EXPECT_THROW(d.testbench(proc_), Error);
+}
+
+/// Property sweep: the LPF corner lands on the requested frequency across
+/// two decades of f0.
+class LpfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LpfSweep, CornerTracksSpec) {
+  const Process proc = Process::default_1u2();
+  const ModuleEstimator me(proc);
+  ModuleSpec s;
+  s.kind = ModuleKind::LowPassFilter;
+  s.order = 4;
+  s.f0_hz = GetParam();
+  const ModuleDesign d = me.estimate(s);
+  EXPECT_NEAR(d.perf.f3db_hz, s.f0_hz, s.f0_hz * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, LpfSweep,
+                         ::testing::Values(200.0, 1e3, 5e3, 20e3));
+
+}  // namespace
+}  // namespace ape::est

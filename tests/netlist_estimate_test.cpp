@@ -1,0 +1,106 @@
+#include "src/synth/netlist_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimator/components.h"
+#include "src/estimator/verify.h"
+#include "src/util/error.h"
+
+namespace ape::synth {
+namespace {
+
+TEST(NetlistEstimate, RcLowPassExact) {
+  const char* net = R"(rc
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+)";
+  NetlistEstimateOptions rc_opts;
+  rc_opts.out_node = "out";
+  const NetlistEstimate e = estimate_netlist(net, rc_opts);
+  EXPECT_NEAR(e.dc_gain, 1.0, 1e-6);
+  ASSERT_TRUE(e.f3db_hz.has_value());
+  EXPECT_NEAR(*e.f3db_hz, 1000.0 / (2.0 * M_PI), 0.5);
+  EXPECT_EQ(e.n_mosfets, 0);
+}
+
+TEST(NetlistEstimate, ActiveAmplifierAttributes) {
+  const char* net = R"(cs amp
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02)
+Vdd vdd 0 DC 5
+Vin g 0 DC 2 AC 1
+Rd vdd d 10k
+Cl d 0 10p
+M1 d g 0 0 mn W=10u L=2u
+)";
+  NetlistEstimateOptions opts;
+  opts.out_node = "d";
+  opts.supply_source = "Vdd";
+  const NetlistEstimate e = estimate_netlist(net, opts);
+  EXPECT_EQ(e.n_mosfets, 1);
+  EXPECT_NEAR(e.gate_area_m2, 10e-6 * 2e-6, 1e-15);
+  EXPECT_GT(e.dc_gain, 4.0);
+  EXPECT_GT(e.power_w, 1e-4);
+  ASSERT_TRUE(e.f3db_hz.has_value());
+  // Pole ~ 1/(2 pi Rout CL): sanity band.
+  EXPECT_GT(*e.f3db_hz, 5e5);
+  EXPECT_LT(*e.f3db_hz, 5e6);
+}
+
+TEST(NetlistEstimate, MatchesFullSimulationOnGeneratedDesign) {
+  // The hierarchy closes: estimate a generated component testbench's
+  // netlist text as if a user had written it, and compare with the
+  // simulator's own measurement.
+  const est::Process proc = est::Process::default_1u2();
+  est::ComponentSpec spec{est::ComponentKind::GainCmos, 120e-6, 10.0, 0.0,
+                          1e-12};
+  const est::ComponentDesign d = est::ComponentEstimator(proc).estimate(spec);
+  const est::Testbench tb = d.testbench(proc);
+
+  NetlistEstimateOptions opts;
+  opts.out_node = tb.out_node;
+  opts.supply_source = "Vdd";
+  // The diode-loaded stage is dominantly first-order; higher AWE orders
+  // would make the moment matrix singular.
+  opts.awe_order = 1;
+  const NetlistEstimate e = estimate_netlist(tb.netlist, opts);
+
+  const est::ComponentSimReport sim = est::simulate_component(d, proc);
+  EXPECT_NEAR(e.dc_gain, std::fabs(sim.gain), std::fabs(sim.gain) * 0.02);
+  ASSERT_TRUE(e.ugf_hz.has_value());
+  ASSERT_TRUE(sim.ugf_hz.has_value());
+  EXPECT_NEAR(*e.ugf_hz, *sim.ugf_hz, *sim.ugf_hz * 0.15);
+  EXPECT_NEAR(e.power_w, sim.power, sim.power * 0.05);
+}
+
+TEST(NetlistEstimate, StablePolesForPassiveNetwork) {
+  const char* net = R"(ladder
+Vin in 0 AC 1
+R1 in a 1k
+C1 a 0 1n
+R2 a out 10k
+C2 out 0 100p
+)";
+  NetlistEstimateOptions opts;
+  opts.out_node = "out";
+  opts.awe_order = 2;
+  const NetlistEstimate e = estimate_netlist(net, opts);
+  for (const auto& p : e.poles) EXPECT_LT(p.real(), 0.0);
+}
+
+TEST(NetlistEstimate, ErrorsPropagate) {
+  EXPECT_THROW(estimate_netlist("", {}), ParseError);
+  const char* net = R"(x
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+)";
+  NetlistEstimateOptions bad;
+  bad.out_node = "nope";
+  EXPECT_THROW(estimate_netlist(net, bad), LookupError);
+}
+
+}  // namespace
+}  // namespace ape::synth

@@ -1,0 +1,104 @@
+#include "src/estimator/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "src/estimator/transistor.h"
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+#include "src/spice/parser.h"
+
+namespace ape::est {
+namespace {
+
+TEST(NetlistBuilder, EmitsParsableElements) {
+  const Process proc = Process::default_1u2();
+  NetlistBuilder nb("builder test");
+  nb.models(proc);
+  nb.comment("a comment");
+  nb.vsource("Vdd", "vdd", "0", "DC 5");
+  nb.resistor("vdd", "a", 1e3);
+  nb.capacitor("a", "0", 1e-12);
+  nb.inductor("a", "b", 1e-3);
+  nb.vcvs("E1", "c", "0", "a", "0", 2.0);
+  nb.isource("I1", "vdd", "b", "DC 1u");
+  const TransistorEstimator xe(proc);
+  const TransistorDesign t =
+      xe.size_for_gm_id(spice::MosType::Nmos, 100e-6, 10e-6);
+  nb.mosfet(proc, t, "b", "a", "0", "0");
+
+  spice::Circuit ckt = spice::parse_netlist(nb.str());
+  EXPECT_EQ(ckt.title(), "builder test");
+  EXPECT_NE(ckt.find("Vdd"), nullptr);
+  EXPECT_NE(ckt.find("E1"), nullptr);
+  EXPECT_NO_THROW(spice::dc_operating_point(ckt));
+}
+
+TEST(NetlistBuilder, MosfetGeometrySurvivesRoundTrip) {
+  const Process proc = Process::default_1u2();
+  const TransistorEstimator xe(proc);
+  const TransistorDesign t =
+      xe.size_for_gm_id(spice::MosType::Pmos, 50e-6, 5e-6);
+  NetlistBuilder nb("roundtrip");
+  nb.models(proc);
+  nb.vsource("V1", "d", "0", "DC 1");
+  nb.mosfet(proc, t, "d", "g", "s", "s");
+  nb.resistor("g", "0", 1.0);
+  nb.resistor("s", "0", 1.0);
+
+  spice::Circuit ckt = spice::parse_netlist(nb.str());
+  const auto& m = ckt.find_as<spice::Mosfet>("M1");
+  EXPECT_NEAR(m.width(), t.w, t.w * 1e-5);
+  EXPECT_NEAR(m.length(), t.l, t.l * 1e-5);
+  EXPECT_EQ(m.model().type, spice::MosType::Pmos);
+}
+
+TEST(NetlistBuilder, ModelCardRoundTripsAllParameters) {
+  const Process proc = Process::default_1u2_level3();
+  const std::string card = spice::to_card_string(proc.nmos);
+  const spice::MosModelCard parsed = spice::parse_model_card(card);
+  EXPECT_EQ(parsed.level, proc.nmos.level);
+  EXPECT_DOUBLE_EQ(parsed.vto, proc.nmos.vto);
+  EXPECT_DOUBLE_EQ(parsed.kp, proc.nmos.kp);
+  EXPECT_DOUBLE_EQ(parsed.lambda, proc.nmos.lambda);
+  EXPECT_DOUBLE_EQ(parsed.theta, proc.nmos.theta);
+  EXPECT_DOUBLE_EQ(parsed.vmax, proc.nmos.vmax);
+  EXPECT_DOUBLE_EQ(parsed.lref, proc.nmos.lref);
+  EXPECT_DOUBLE_EQ(parsed.cgso, proc.nmos.cgso);
+  EXPECT_DOUBLE_EQ(parsed.cj, proc.nmos.cj);
+}
+
+TEST(NetlistBuilder, FreshNodesAreUnique) {
+  NetlistBuilder nb("x");
+  const std::string a = nb.fresh("n");
+  const std::string b = nb.fresh("n");
+  EXPECT_NE(a, b);
+}
+
+TEST(Process, DefaultsAreConsistent) {
+  const Process p = Process::default_1u2();
+  EXPECT_EQ(p.nmos.type, spice::MosType::Nmos);
+  EXPECT_EQ(p.pmos.type, spice::MosType::Pmos);
+  EXPECT_GT(p.nmos.vto, 0.0);
+  EXPECT_LT(p.pmos.vto, 0.0);
+  EXPECT_GT(p.nmos.kp, p.pmos.kp);  // electron vs hole mobility
+  EXPECT_GT(p.vdd, p.vss);
+  EXPECT_EQ(&p.card(spice::MosType::Nmos), &p.nmos);
+  EXPECT_EQ(&p.card(spice::MosType::Pmos), &p.pmos);
+}
+
+TEST(Process, FromCardsValidatesTypes) {
+  const Process p = Process::default_1u2();
+  EXPECT_NO_THROW(Process::from_cards(p.nmos, p.pmos));
+  EXPECT_THROW(Process::from_cards(p.pmos, p.nmos), SpecError);
+}
+
+TEST(Process, Level3VariantKeepsGeometryLimits) {
+  const Process p = Process::default_1u2_level3();
+  EXPECT_EQ(p.nmos.level, 3);
+  EXPECT_GT(p.nmos.theta, 0.0);
+  EXPECT_GT(p.nmos.vmax, 0.0);
+  EXPECT_EQ(p.lmin, Process::default_1u2().lmin);
+}
+
+}  // namespace
+}  // namespace ape::est

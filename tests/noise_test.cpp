@@ -1,0 +1,139 @@
+#include "src/spice/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimator/opamp.h"
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+#include "src/spice/measure.h"
+#include "src/spice/parser.h"
+#include "src/util/error.h"
+
+namespace ape::spice {
+namespace {
+
+constexpr double k4kT = 4.0 * 1.380649e-23 * 300.0;
+constexpr double kBoltzmannT = 1.380649e-23 * 300.0;
+
+TEST(Noise, SingleResistorSpotNoise) {
+  // Output PSD of a grounded resistor driven by nothing: 4kTR.
+  const char* net = R"(r noise
+Vin in 0 AC 1
+Rs in out 1e9
+R1 out 0 10k
+)";
+  Circuit ckt = parse_netlist(net);
+  (void)dc_operating_point(ckt);
+  const NoiseResult nr = noise_analysis(ckt, "out", 1.0, 1e3, 5);
+  // Rs >> R1: the divider leaves ~4kT*R1 at the output.
+  EXPECT_NEAR(nr.out_v2.front(), k4kT * 10e3, k4kT * 10e3 * 0.01);
+}
+
+TEST(Noise, ParallelResistorsCombine) {
+  // Two resistors to ground: output sees 4kT * (R1 || R2).
+  const char* net = R"(par
+Vmeas probe 0 AC 0
+Rp probe out 1e12
+R1 out 0 10k
+R2 out 0 40k
+)";
+  Circuit ckt = parse_netlist(net);
+  (void)dc_operating_point(ckt);
+  const NoiseResult nr = noise_analysis(ckt, "out", 1.0, 1e2, 5);
+  const double rpar = 10e3 * 40e3 / 50e3;
+  EXPECT_NEAR(nr.out_v2.front(), k4kT * rpar, k4kT * rpar * 0.02);
+}
+
+TEST(Noise, KtOverCProperty) {
+  // The classic: total integrated noise of any RC low-pass is kT/C,
+  // independent of R. Verify for two very different resistances.
+  for (double r : {1e3, 100e3}) {
+    Circuit ckt("ktc");
+    Waveform w;
+    ckt.add<VSource>("vin", ckt.node("in"), kGround, w);
+    ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("out"), r);
+    ckt.add<Capacitor>("c1", ckt.node("out"), kGround, 10e-12);
+    (void)dc_operating_point(ckt);
+    const double f_pole = 1.0 / (2.0 * M_PI * r * 10e-12);
+    const NoiseResult nr =
+        noise_analysis(ckt, "out", f_pole * 1e-3, f_pole * 1e3, 20);
+    const double want = std::sqrt(kBoltzmannT / 10e-12);
+    EXPECT_NEAR(nr.integrated_out_vrms(f_pole * 1e-3, f_pole * 1e3), want,
+                want * 0.05)
+        << "R = " << r;
+  }
+}
+
+TEST(Noise, FlickerRaisesLowFrequencyNoise) {
+  const char* net = R"(flicker
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02 kf=1e-24 af=1)
+Vdd vdd 0 DC 5
+Vg g 0 DC 2 AC 1
+Rd vdd d 10k
+M1 d g 0 0 mn W=10u L=2u
+)";
+  Circuit ckt = parse_netlist(net);
+  (void)dc_operating_point(ckt);
+  const NoiseResult nr = noise_analysis(ckt, "d", 1.0, 1e6, 5, "Vg");
+  // 1/f dominated at 1 Hz, white at 1 MHz.
+  EXPECT_GT(nr.out_v2.front(), 10.0 * nr.out_v2.back());
+  // Input-referred density is finite and positive where gain exists.
+  EXPECT_GT(nr.in_v2.back(), 0.0);
+}
+
+TEST(Noise, CommonSourceInputReferredMatchesHandFormula) {
+  // White region: v_in^2 = 4kT*(2/3)/gm + 4kT*Rd/(gm*Rd)^2 (load term).
+  const char* net = R"(cs noise
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02)
+Vdd vdd 0 DC 5
+Vg g 0 DC 2 AC 1
+Rd vdd d 10k
+M1 d g 0 0 mn W=10u L=2u
+)";
+  Circuit ckt = parse_netlist(net);
+  (void)dc_operating_point(ckt);
+  auto& m1 = ckt.find_as<Mosfet>("m1");
+  const double gm = m1.op().gm;
+  const double gout = 1.0 / 10e3 + m1.op().gds;
+  const NoiseResult nr = noise_analysis(ckt, "d", 1e3, 1e4, 5, "Vg");
+  const double gain2 = (gm / gout) * (gm / gout);
+  const double want =
+      (k4kT * (2.0 / 3.0) * gm + k4kT / 10e3) / (gout * gout) / gain2;
+  EXPECT_NEAR(nr.in_v2.front(), want, want * 0.05);
+}
+
+TEST(Noise, OpAmpEstimateMatchesSimulatedInputNoise) {
+  // The estimator's input-referred white-noise composition vs the full
+  // noise analysis of the open-loop testbench, in the flat region.
+  const est::Process proc = est::Process::default_1u2();
+  est::OpAmpSpec spec;
+  spec.gain = 200;
+  spec.ugf_hz = 5e6;
+  spec.ibias = 10e-6;
+  spec.cload = 10e-12;
+  const est::OpAmpDesign d = est::OpAmpEstimator(proc).estimate(spec);
+  const est::Testbench tb = d.testbench(proc, est::OpAmpTb::OpenLoop);
+  Circuit ckt = parse_netlist(tb.netlist);
+  (void)dc_operating_point(ckt);
+  const NoiseResult nr = noise_analysis(ckt, "out", 1e3, 1e4, 5, "Vin");
+  ASSERT_GT(d.perf.input_noise_v2, 0.0);
+  // Within 2x: the estimate counts only the first stage's four devices.
+  EXPECT_GT(nr.in_v2.front(), 0.5 * d.perf.input_noise_v2);
+  EXPECT_LT(nr.in_v2.front(), 2.0 * d.perf.input_noise_v2);
+}
+
+TEST(Noise, RejectsBadArguments) {
+  Circuit ckt("x");
+  Waveform w;
+  ckt.add<VSource>("v1", ckt.node("a"), kGround, w);
+  ckt.add<Resistor>("r1", ckt.node("a"), kGround, 1e3);
+  (void)dc_operating_point(ckt);
+  EXPECT_THROW(noise_analysis(ckt, "a", -1.0, 10.0), SpecError);
+  EXPECT_THROW(noise_analysis(ckt, "0", 1.0, 10.0), SpecError);
+  EXPECT_THROW(noise_analysis(ckt, "nope", 1.0, 10.0), LookupError);
+}
+
+}  // namespace
+}  // namespace ape::spice

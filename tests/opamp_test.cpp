@@ -1,0 +1,157 @@
+#include "src/estimator/opamp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimator/verify.h"
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class OpAmpTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+  OpAmpEstimator oe_{proc_};
+
+  static OpAmpSpec basic_spec() {
+    OpAmpSpec s;
+    s.gain = 200.0;
+    s.ugf_hz = 5e6;
+    s.ibias = 10e-6;
+    s.cload = 10e-12;
+    return s;
+  }
+};
+
+TEST_F(OpAmpTest, SizingMeetsGainAndUgf) {
+  const OpAmpDesign d = oe_.estimate(basic_spec());
+  EXPECT_GE(d.perf.gain, 200.0);  // gain is a lower-bound constraint
+  EXPECT_NEAR(d.perf.ugf_hz, 5e6, 5e6 * 0.05);
+  EXPECT_GT(d.perf.phase_margin, 45.0);
+  EXPECT_EQ(d.transistors.size(), 8u);  // two-stage, mirror tail, no buffer
+}
+
+TEST_F(OpAmpTest, SimulationAgreesWithEstimate) {
+  const OpAmpDesign d = oe_.estimate(basic_spec());
+  const OpAmpSimReport r = simulate_opamp(d, proc_, /*with_transient=*/false);
+  EXPECT_NEAR(r.gain, d.perf.gain, d.perf.gain * 0.15);
+  ASSERT_TRUE(r.ugf_hz.has_value());
+  EXPECT_NEAR(*r.ugf_hz, d.perf.ugf_hz, d.perf.ugf_hz * 0.15);
+  EXPECT_NEAR(r.power, d.perf.dc_power, d.perf.dc_power * 0.1);
+  EXPECT_NEAR(r.ibias, d.perf.ibias, d.perf.ibias * 0.1);
+  EXPECT_NEAR(r.zout, d.perf.zout, d.perf.zout * 0.2);
+}
+
+TEST_F(OpAmpTest, WilsonTailBuilds) {
+  OpAmpSpec s = basic_spec();
+  s.source = CurrentSourceKind::Wilson;
+  const OpAmpDesign d = oe_.estimate(s);
+  // Wilson adds a third tail device.
+  EXPECT_EQ(d.transistors.size(), 9u);
+  const OpAmpSimReport r = simulate_opamp(d, proc_, false);
+  EXPECT_NEAR(r.gain, d.perf.gain, d.perf.gain * 0.15);
+  ASSERT_TRUE(r.ugf_hz.has_value());
+  EXPECT_NEAR(*r.ugf_hz, d.perf.ugf_hz, d.perf.ugf_hz * 0.2);
+}
+
+TEST_F(OpAmpTest, BufferLowersOutputImpedance) {
+  OpAmpSpec s = basic_spec();
+  const OpAmpDesign open = oe_.estimate(s);
+  s.buffer = true;
+  s.zout = 2e3;
+  const OpAmpDesign buf = oe_.estimate(s);
+  EXPECT_EQ(buf.transistors.size(), 10u);
+  EXPECT_LT(buf.perf.zout, 0.05 * open.perf.zout);
+  const OpAmpSimReport r = simulate_opamp(buf, proc_, false);
+  EXPECT_LT(r.zout, 2.5e3);  // meets the Zout ceiling in simulation
+}
+
+TEST_F(OpAmpTest, SlewRateEstimateVsSim) {
+  const OpAmpDesign d = oe_.estimate(basic_spec());
+  const OpAmpSimReport r = simulate_opamp(d, proc_, /*with_transient=*/true);
+  ASSERT_GT(r.slew, 0.0);
+  EXPECT_NEAR(r.slew, d.perf.slew, d.perf.slew * 0.6);
+}
+
+TEST_F(OpAmpTest, RejectsDegenerateSpecs) {
+  OpAmpSpec s = basic_spec();
+  s.gain = 0.5;
+  EXPECT_THROW(oe_.estimate(s), SpecError);
+  s = basic_spec();
+  s.ugf_hz = -1.0;
+  EXPECT_THROW(oe_.estimate(s), SpecError);
+  s = basic_spec();
+  s.ibias = 0.0;
+  EXPECT_THROW(oe_.estimate(s), SpecError);
+  s = basic_spec();
+  s.cload = 0.0;
+  EXPECT_THROW(oe_.estimate(s), SpecError);
+}
+
+TEST_F(OpAmpTest, ExtremeUgfAtTinyBiasThrows) {
+  OpAmpSpec s = basic_spec();
+  s.ugf_hz = 500e6;
+  s.ibias = 0.1e-6;
+  // Mirror ratio is capped at 32x: the implied pair overdrive collapses.
+  EXPECT_THROW(oe_.estimate(s), SpecError);
+}
+
+TEST_F(OpAmpTest, EmitRequiresKnownRoles) {
+  OpAmpDesign d = oe_.estimate(basic_spec());
+  d.roles[0] = "zz";
+  NetlistBuilder nb("x");
+  EXPECT_THROW(d.emit(nb, proc_, "x1", "a", "b", "c", "vdd"), LookupError);
+}
+
+TEST_F(OpAmpTest, UnityFeedbackHoldsCommonMode) {
+  const OpAmpDesign d = oe_.estimate(basic_spec());
+  const OpAmpSimReport r = simulate_opamp(d, proc_, false);
+  // The open-loop bench closes DC feedback: out sits at the input CM.
+  EXPECT_NEAR(r.out_dc, d.perf.input_cm, 0.1);
+}
+
+/// Property sweep over the spec space: every feasible estimate must be
+/// confirmed by simulation within fixed accuracy bands (the paper's
+/// Table 3 claim, parameterized).
+struct SpecCase {
+  double gain, ugf_hz, ibias;
+  CurrentSourceKind source;
+  bool buffer;
+};
+
+class OpAmpSweep : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(OpAmpSweep, EstimateConfirmedBySimulation) {
+  const Process proc = Process::default_1u2();
+  const OpAmpEstimator oe(proc);
+  const SpecCase c = GetParam();
+  OpAmpSpec s;
+  s.gain = c.gain;
+  s.ugf_hz = c.ugf_hz;
+  s.ibias = c.ibias;
+  s.cload = 10e-12;
+  s.source = c.source;
+  s.buffer = c.buffer;
+  if (c.buffer) s.zout = 2e3;
+  const OpAmpDesign d = oe.estimate(s);
+  const OpAmpSimReport r = simulate_opamp(d, proc, false);
+  EXPECT_NEAR(r.gain, d.perf.gain, d.perf.gain * 0.2);
+  ASSERT_TRUE(r.ugf_hz.has_value());
+  EXPECT_NEAR(*r.ugf_hz, d.perf.ugf_hz, d.perf.ugf_hz * 0.2);
+  EXPECT_NEAR(r.power, d.perf.dc_power, d.perf.dc_power * 0.12);
+  EXPECT_GE(r.gain, 0.9 * c.gain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Corners, OpAmpSweep,
+    ::testing::Values(SpecCase{70, 3e6, 2e-6, CurrentSourceKind::Wilson, true},
+                      SpecCase{100, 2e6, 1e-6, CurrentSourceKind::Mirror, true},
+                      SpecCase{150, 3e6, 100e-6, CurrentSourceKind::Mirror, false},
+                      SpecCase{250, 8e6, 1e-6, CurrentSourceKind::Mirror, false},
+                      SpecCase{50, 10e6, 10e-6, CurrentSourceKind::Mirror, false},
+                      SpecCase{500, 1e6, 5e-6, CurrentSourceKind::Wilson, false}));
+
+}  // namespace
+}  // namespace ape::est

@@ -1,0 +1,169 @@
+#include "src/spice/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+
+namespace ape::spice {
+namespace {
+
+TEST(Parser, DividerNetlistSolves) {
+  const char* net = R"(simple divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)";
+  Circuit ckt = parse_netlist(net);
+  EXPECT_EQ(ckt.title(), "simple divider");
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "mid"), 7.5, 1e-6);
+}
+
+TEST(Parser, BareDcValueAndCaseInsensitivity) {
+  const char* net = R"(case test
+v1 IN 0 5
+r1 in OUT 2K
+R2 out 0 2k
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 2.5, 1e-6);
+}
+
+TEST(Parser, ContinuationLines) {
+  const char* net = R"(continuation
+V1 in 0
++ DC 4
+R1 in 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "in"), 4.0, 1e-9);
+}
+
+TEST(Parser, CommentsAndInlineComments) {
+  const char* net = R"(comments
+* a full-line comment
+V1 in 0 DC 1 $ inline comment
+R1 in 0 1k ; another style
+)";
+  Circuit ckt = parse_netlist(net);
+  EXPECT_NE(ckt.find("r1"), nullptr);
+  EXPECT_NE(ckt.find("V1"), nullptr);
+}
+
+TEST(Parser, ModelCardAndMosfet) {
+  const char* net = R"(mos test
+.model modn nmos (level=1 vto=0.8 kp=80u lambda=0.02 gamma=0.4 phi=0.6)
+Vdd vdd 0 DC 5
+Vg g 0 DC 2
+Rd vdd d 10k
+M1 d g 0 0 modn W=10u L=2u
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto& m1 = ckt.find_as<Mosfet>("m1");
+  EXPECT_DOUBLE_EQ(m1.width(), 10e-6);
+  EXPECT_DOUBLE_EQ(m1.length(), 2e-6);
+  EXPECT_EQ(m1.model().level, 1);
+  EXPECT_DOUBLE_EQ(m1.model().kp, 80e-6);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_LT(node_voltage(ckt, sol, "d"), 5.0);
+}
+
+TEST(Parser, ModelDefinedAfterUse) {
+  const char* net = R"(order independence
+Vg g 0 DC 2
+M1 d g 0 0 late W=5u L=1u
+Rd d 0 1k
+.model late nmos (vto=0.7 kp=50u)
+)";
+  Circuit ckt = parse_netlist(net);
+  EXPECT_NO_THROW(ckt.find_as<Mosfet>("m1"));
+}
+
+TEST(Parser, PmosModelDefaultsNegativeVto) {
+  const auto m = parse_model_card(".model mp pmos (kp=28u)");
+  EXPECT_EQ(m.type, MosType::Pmos);
+  EXPECT_DOUBLE_EQ(m.vto, -0.8);
+}
+
+TEST(Parser, PulseSinPwlSources) {
+  const char* net = R"(sources
+V1 a 0 PULSE(0 5 1u 2n 2n 1m 2m)
+V2 b 0 SIN(2.5 0.1 10k)
+V3 c 0 PWL(0 0 1m 1 2m 0)
+V4 d 0 DC 1 AC 1 90
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto& v1 = ckt.find_as<VSource>("v1");
+  EXPECT_EQ(v1.wave().kind, Waveform::Kind::Pulse);
+  EXPECT_DOUBLE_EQ(v1.wave().value(0.0), 0.0);
+  EXPECT_NEAR(v1.wave().value(1.1e-6), 5.0, 1e-9);
+  const auto& v2 = ckt.find_as<VSource>("v2");
+  EXPECT_NEAR(v2.wave().value(0.0), 2.5, 1e-12);
+  const auto& v3 = ckt.find_as<VSource>("v3");
+  EXPECT_NEAR(v3.wave().value(0.5e-3), 0.5, 1e-9);
+  const auto& v4 = ckt.find_as<VSource>("v4");
+  EXPECT_DOUBLE_EQ(v4.wave().ac_mag, 1.0);
+  EXPECT_DOUBLE_EQ(v4.wave().ac_phase_deg, 90.0);
+}
+
+TEST(Parser, ControlledSources) {
+  const char* net = R"(controlled
+V1 in 0 DC 1
+E1 e 0 in 0 10
+G1 gout 0 in 0 1m
+Rg gout 0 1k
+Vm m 0 DC 0
+Rm in m 100
+F1 f 0 Vm 2
+Rf f 0 50
+H1 h 0 Vm 1000
+Rh h 0 1k
+Re e 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "e"), 10.0, 1e-6);
+  EXPECT_NEAR(node_voltage(ckt, sol, "gout"), -1.0, 1e-6);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("title\nR1 a 0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownElement) {
+  EXPECT_THROW(parse_netlist("t\nQ1 a b c qmod\n"), ParseError);
+}
+
+TEST(Parser, RejectsUnknownModelParameter) {
+  EXPECT_THROW(parse_model_card(".model bad nmos (zzz=1)"), ParseError);
+}
+
+TEST(Parser, RejectsUnsupportedLevel) {
+  EXPECT_THROW(parse_model_card(".model bad nmos (level=49)"), ParseError);
+}
+
+TEST(Parser, RejectsUnknownCard) {
+  EXPECT_THROW(parse_netlist("t\n.tran 1n 1u\n"), ParseError);
+}
+
+TEST(Parser, RejectsEmpty) { EXPECT_THROW(parse_netlist(""), ParseError); }
+
+TEST(Parser, MosfetNeedsKnownModel) {
+  EXPECT_THROW(parse_netlist("t\nM1 d g 0 0 nosuch W=1u L=1u\n"), LookupError);
+}
+
+}  // namespace
+}  // namespace ape::spice

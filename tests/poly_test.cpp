@@ -1,0 +1,105 @@
+#include "src/util/poly.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace ape {
+namespace {
+
+void expect_contains_root(const std::vector<Complex>& roots, Complex want,
+                          double tol = 1e-6) {
+  const bool found = std::any_of(roots.begin(), roots.end(), [&](Complex r) {
+    return std::abs(r - want) < tol * std::max(1.0, std::abs(want));
+  });
+  EXPECT_TRUE(found) << "missing root " << want.real() << "+" << want.imag() << "i";
+}
+
+TEST(Poly, EvalHorner) {
+  // 1 + 2x + 3x^2 at x = 2 -> 17
+  const std::vector<Complex> c{{1, 0}, {2, 0}, {3, 0}};
+  EXPECT_NEAR(poly_eval(c, {2.0, 0.0}).real(), 17.0, 1e-12);
+}
+
+TEST(Poly, LinearRoot) {
+  // 2 + x = 0 -> x = -2
+  const auto roots = poly_roots(std::vector<double>{2.0, 1.0});
+  ASSERT_EQ(roots.size(), 1u);
+  expect_contains_root(roots, {-2.0, 0.0});
+}
+
+TEST(Poly, QuadraticRealRoots) {
+  // (x - 1)(x - 3) = 3 - 4x + x^2
+  const auto roots = poly_roots(std::vector<double>{3.0, -4.0, 1.0});
+  ASSERT_EQ(roots.size(), 2u);
+  expect_contains_root(roots, {1.0, 0.0});
+  expect_contains_root(roots, {3.0, 0.0});
+}
+
+TEST(Poly, ComplexConjugateRoots) {
+  // x^2 + 1 -> +/- i
+  const auto roots = poly_roots(std::vector<double>{1.0, 0.0, 1.0});
+  expect_contains_root(roots, {0.0, 1.0});
+  expect_contains_root(roots, {0.0, -1.0});
+}
+
+TEST(Poly, WidelySpreadRoots) {
+  // Pole spreads like an opamp: (x + 1e2)(x + 1e6)
+  // = 1e8 + (1e2 + 1e6) x + x^2
+  const auto roots = poly_roots(std::vector<double>{1e8, 1e2 + 1e6, 1.0});
+  expect_contains_root(roots, {-1e2, 0.0}, 1e-3);
+  expect_contains_root(roots, {-1e6, 0.0}, 1e-3);
+}
+
+TEST(Poly, TrimsLeadingZeroCoefficients) {
+  // 6 - 5x + x^2 + 0*x^3 -> roots 2 and 3
+  const auto roots = poly_roots(std::vector<double>{6.0, -5.0, 1.0, 0.0});
+  ASSERT_EQ(roots.size(), 2u);
+  expect_contains_root(roots, {2.0, 0.0});
+  expect_contains_root(roots, {3.0, 0.0});
+}
+
+TEST(Poly, ThrowsOnConstant) {
+  EXPECT_THROW(poly_roots(std::vector<double>{1.0}), NumericError);
+  EXPECT_THROW(poly_roots(std::vector<double>{0.0, 0.0}), NumericError);
+}
+
+TEST(Pade, FirstOrderMatchesSinglePole) {
+  // H(s) = 1/(1 + s tau): moments m_k = (-tau)^k.
+  const double tau = 1e-3;
+  const std::vector<double> m{1.0, -tau};
+  const auto b = pade_denominator(m, 1);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NEAR(b[0], tau, 1e-12);
+}
+
+TEST(Pade, SecondOrderRecoversTwoPoles) {
+  // H(s) = 1/((1 + s/p1)(1 + s/p2)), p1 = 10, p2 = 1000.
+  // Moments of 1/D(s): D = 1 + b1 s + b2 s^2 with
+  // b1 = 1/p1 + 1/p2, b2 = 1/(p1 p2). Series 1/D = 1 - b1 s + (b1^2-b2)s^2 ...
+  const double p1 = 10.0, p2 = 1000.0;
+  const double b1 = 1.0 / p1 + 1.0 / p2;
+  const double b2 = 1.0 / (p1 * p2);
+  const double m0 = 1.0;
+  const double m1 = -b1;
+  const double m2 = b1 * b1 - b2;
+  const double m3 = -(b1 * b1 * b1 - 2.0 * b1 * b2);
+  const auto b = pade_denominator({m0, m1, m2, m3}, 2);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_NEAR(b[0], b1, 1e-9);
+  EXPECT_NEAR(b[1], b2, 1e-12);
+  // Roots of D(s) are the (negated) poles.
+  const auto roots = poly_roots(std::vector<double>{1.0, b[0], b[1]});
+  expect_contains_root(roots, {-p1, 0.0}, 1e-6);
+  expect_contains_root(roots, {-p2, 0.0}, 1e-6);
+}
+
+TEST(Pade, ThrowsWithoutEnoughMoments) {
+  EXPECT_THROW(pade_denominator({1.0, 2.0}, 2), NumericError);
+}
+
+}  // namespace
+}  // namespace ape

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/analysis.h"
+#include "src/spice/circuit.h"
+#include "src/spice/devices.h"
+#include "src/spice/measure.h"
+#include "tests/test_models.h"
+
+namespace ape::spice {
+namespace {
+
+Waveform dc_ac(double dc, double ac) {
+  Waveform w;
+  w.dc = dc;
+  w.ac_mag = ac;
+  return w;
+}
+
+TEST(SpiceAc, RcLowPassPole) {
+  // R = 1k, C = 1u -> f3db = 1/(2 pi R C) ~= 159.15 Hz.
+  Circuit ckt("rc");
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dc_ac(0.0, 1.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("out"), 1e3);
+  ckt.add<Capacitor>("c1", ckt.node("out"), kGround, 1e-6);
+  (void)dc_operating_point(ckt);
+  const auto ac = ac_analysis(ckt, 1.0, 1e5, 40);
+  const Bode bode(ac, ckt.find_node("out"));
+  EXPECT_NEAR(bode.dc_gain(), 1.0, 1e-3);
+  ASSERT_TRUE(bode.f_3db().has_value());
+  EXPECT_NEAR(*bode.f_3db(), 159.155, 2.0);
+  // One decade above the pole the gain drops ~20 dB.
+  EXPECT_NEAR(bode.mag_at(1591.5), 0.1, 0.01);
+}
+
+TEST(SpiceAc, RcPhaseAtPoleIs45Degrees) {
+  Circuit ckt("rcph");
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dc_ac(0.0, 1.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("out"), 1e3);
+  ckt.add<Capacitor>("c1", ckt.node("out"), kGround, 1e-6);
+  (void)dc_operating_point(ckt);
+  const auto ac = ac_analysis(ckt, 159.155, 159.155 * 1.001, 10);
+  const Bode bode(ac, ckt.find_node("out"));
+  EXPECT_NEAR(bode.phase_deg(0), -45.0, 1.0);
+}
+
+TEST(SpiceAc, VcvsIsFrequencyFlat) {
+  Circuit ckt("evcvs");
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dc_ac(0.0, 1.0));
+  ckt.add<Vcvs>("e1", ckt.node("out"), kGround, ckt.node("in"), kGround, 42.0);
+  ckt.add<Resistor>("rl", ckt.node("out"), kGround, 1e3);
+  (void)dc_operating_point(ckt);
+  const auto ac = ac_analysis(ckt, 1.0, 1e6, 10);
+  const Bode bode(ac, ckt.find_node("out"));
+  EXPECT_NEAR(bode.dc_gain(), 42.0, 1e-6);
+  EXPECT_NEAR(bode.mag(bode.size() - 1), 42.0, 1e-6);
+}
+
+TEST(SpiceAc, CommonSourceGainMatchesGmRo) {
+  // |Av| = gm * (Rd || ro) at low frequency.
+  Circuit ckt("csac");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dc_ac(5.0, 0.0));
+  ckt.add<VSource>("vg", ckt.node("g"), kGround, dc_ac(2.0, 1.0));
+  ckt.add<Resistor>("rd", ckt.node("vdd"), ckt.node("d"), 10e3);
+  ckt.add<Mosfet>("m1", ckt.node("d"), ckt.node("g"), kGround, kGround, m,
+                  10e-6, 2e-6);
+  (void)dc_operating_point(ckt);
+  const auto& m1 = ckt.find_as<Mosfet>("m1");
+  const double gm = m1.op().gm;
+  const double ro = 1.0 / m1.op().gds;
+  const double want = gm * (10e3 * ro) / (10e3 + ro);
+  const auto ac = ac_analysis(ckt, 10.0, 100.0, 5);
+  const Bode bode(ac, ckt.find_node("d"));
+  EXPECT_NEAR(bode.dc_gain(), want, want * 0.01);
+}
+
+TEST(SpiceAc, CommonSourceWithLoadCapRollsOff) {
+  Circuit ckt("csrolloff");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dc_ac(5.0, 0.0));
+  ckt.add<VSource>("vg", ckt.node("g"), kGround, dc_ac(2.0, 1.0));
+  ckt.add<Resistor>("rd", ckt.node("vdd"), ckt.node("d"), 10e3);
+  ckt.add<Capacitor>("cl", ckt.node("d"), kGround, 10e-12);
+  ckt.add<Mosfet>("m1", ckt.node("d"), ckt.node("g"), kGround, kGround, m,
+                  10e-6, 2e-6);
+  (void)dc_operating_point(ckt);
+  const auto ac = ac_analysis(ckt, 100.0, 1e9, 10);
+  const Bode bode(ac, ckt.find_node("d"));
+  ASSERT_TRUE(bode.f_3db().has_value());
+  const auto& m1 = ckt.find_as<Mosfet>("m1");
+  const double rout = 1.0 / (1.0 / 10e3 + m1.op().gds);
+  const double f_want = 1.0 / (2.0 * M_PI * rout * 10e-12);
+  // Within ~15% (device junction caps add to the 10 pF load).
+  EXPECT_NEAR(*bode.f_3db(), f_want, f_want * 0.15);
+}
+
+TEST(SpiceAc, InductorShortsAtDcOpensAtHf) {
+  Circuit ckt("rl");
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dc_ac(0.0, 1.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("out"), 1e3);
+  ckt.add<Inductor>("l1", ckt.node("out"), kGround, 1e-3);
+  (void)dc_operating_point(ckt);
+  const auto ac = ac_analysis(ckt, 1.0, 1e9, 10);
+  const Bode bode(ac, ckt.find_node("out"));
+  EXPECT_LT(bode.mag(0), 1e-4);             // shorted at low f
+  EXPECT_NEAR(bode.mag(bode.size() - 1), 1.0, 1e-3);  // open at high f
+}
+
+TEST(SpiceAc, BadRangeThrows) {
+  Circuit ckt("bad");
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dc_ac(0.0, 1.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), kGround, 1e3);
+  (void)dc_operating_point(ckt);
+  EXPECT_THROW(ac_analysis(ckt, -1.0, 10.0), SpecError);
+  EXPECT_THROW(ac_analysis(ckt, 100.0, 10.0), SpecError);
+}
+
+}  // namespace
+}  // namespace ape::spice

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/analysis.h"
+#include "src/spice/circuit.h"
+#include "src/spice/devices.h"
+#include "tests/test_models.h"
+
+namespace ape::spice {
+namespace {
+
+Waveform dcv(double v) {
+  Waveform w;
+  w.dc = v;
+  return w;
+}
+
+TEST(SpiceDc, VoltageDivider) {
+  Circuit ckt("divider");
+  ckt.add<VSource>("v1", ckt.node("in"), kGround, dcv(10.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("mid"), 1e3);
+  ckt.add<Resistor>("r2", ckt.node("mid"), kGround, 3e3);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "mid"), 7.5, 1e-6);
+  EXPECT_NEAR(source_current(ckt, sol, "v1"), -10.0 / 4e3, 1e-9);
+}
+
+TEST(SpiceDc, CurrentSourceIntoResistor) {
+  Circuit ckt("isrc");
+  ckt.add<ISource>("i1", kGround, ckt.node("out"), dcv(1e-3));
+  ckt.add<Resistor>("r1", ckt.node("out"), kGround, 2e3);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 2.0, 1e-6);
+}
+
+TEST(SpiceDc, VcvsAmplifies) {
+  Circuit ckt("vcvs");
+  ckt.add<VSource>("v1", ckt.node("in"), kGround, dcv(0.25));
+  ckt.add<Vcvs>("e1", ckt.node("out"), kGround, ckt.node("in"), kGround, 8.0);
+  ckt.add<Resistor>("rl", ckt.node("out"), kGround, 1e3);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 2.0, 1e-6);
+}
+
+TEST(SpiceDc, VccsIntoLoad) {
+  Circuit ckt("vccs");
+  ckt.add<VSource>("v1", ckt.node("in"), kGround, dcv(1.0));
+  // i(out->gnd) = gm*vin into 1k: v(out) = -gm*R*vin with current direction
+  ckt.add<Vccs>("g1", ckt.node("out"), kGround, ckt.node("in"), kGround, 1e-3);
+  ckt.add<Resistor>("rl", ckt.node("out"), kGround, 1e3);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), -1.0, 1e-6);
+}
+
+TEST(SpiceDc, CccsMirrorsCurrent) {
+  Circuit ckt("cccs");
+  ckt.add<VSource>("vs", ckt.node("a"), kGround, dcv(5.0));
+  ckt.add<Resistor>("r1", ckt.node("a"), ckt.node("b"), 1e3);
+  ckt.add<VSource>("vmeas", ckt.node("b"), kGround, dcv(0.0));
+  // 5mA flows through vmeas; F doubles it into rl.
+  ckt.add<Cccs>("f1", kGround, ckt.node("out"), &ckt.find_as<VSource>("vmeas"), 2.0);
+  ckt.add<Resistor>("rl", ckt.node("out"), kGround, 100.0);
+  const auto sol = dc_operating_point(ckt);
+  // Branch current flows + to - through vmeas: +5 mA here.
+  EXPECT_NEAR(source_current(ckt, sol, "vmeas"), 5e-3, 1e-7);
+  // F injects 2 * 5 mA into "out" (p = ground), so v = 10 mA * 100 ohm.
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 1.0, 1e-5);
+}
+
+TEST(SpiceDc, DiodeForwardDrop) {
+  Circuit ckt("diode");
+  ckt.add<VSource>("v1", ckt.node("in"), kGround, dcv(5.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("d"), 1e3);
+  ckt.add<Diode>("d1", ckt.node("d"), kGround);
+  const auto sol = dc_operating_point(ckt);
+  const double vd = node_voltage(ckt, sol, "d");
+  EXPECT_GT(vd, 0.45);
+  EXPECT_LT(vd, 0.8);
+}
+
+TEST(SpiceDc, NmosCommonSourceOperatingPoint) {
+  // VDD=5, Rd=10k, Vg=2V; lambda=0 so Id is the pure square law.
+  auto card = test::nmos_card();
+  card.lambda = 0.0;
+  Circuit ckt("cs");
+  const auto* m = ckt.add_model(card);
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<VSource>("vg", ckt.node("g"), kGround, dcv(2.0));
+  ckt.add<Resistor>("rd", ckt.node("vdd"), ckt.node("d"), 10e3);
+  ckt.add<Mosfet>("m1", ckt.node("d"), ckt.node("g"), kGround, kGround, m,
+                  10e-6, 2e-6);
+  const auto sol = dc_operating_point(ckt);
+  const double leff = 2e-6 - 2.0 * card.ld;
+  const double id = 0.5 * card.kp * (10e-6 / leff) * (2.0 - 0.8) * (2.0 - 0.8);
+  EXPECT_NEAR(node_voltage(ckt, sol, "d"), 5.0 - id * 10e3, 2e-3);
+  const auto& m1 = ckt.find_as<Mosfet>("m1");
+  EXPECT_EQ(m1.op().region, MosRegion::Saturation);
+}
+
+TEST(SpiceDc, PmosCommonSource) {
+  Circuit ckt("csp");
+  const auto* m = ckt.add_model(test::pmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<VSource>("vg", ckt.node("g"), kGround, dcv(3.0));  // vgs = -2
+  ckt.add<Resistor>("rd", ckt.node("d"), kGround, 10e3);
+  ckt.add<Mosfet>("m1", ckt.node("d"), ckt.node("g"), ckt.node("vdd"),
+                  ckt.node("vdd"), m, 30e-6, 2e-6);
+  const auto sol = dc_operating_point(ckt);
+  const double vd = node_voltage(ckt, sol, "d");
+  EXPECT_GT(vd, 0.5);  // PMOS pulls the output high through the load
+  EXPECT_LT(vd, 5.0);
+}
+
+TEST(SpiceDc, SimpleCurrentMirrorCopiesCurrent) {
+  Circuit ckt("mirror");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<ISource>("iref", ckt.node("vdd"), ckt.node("ref"), dcv(100e-6));
+  // Diode-connected reference device.
+  ckt.add<Mosfet>("m1", ckt.node("ref"), ckt.node("ref"), kGround, kGround, m,
+                  20e-6, 2e-6);
+  ckt.add<Mosfet>("m2", ckt.node("out"), ckt.node("ref"), kGround, kGround, m,
+                  20e-6, 2e-6);
+  ckt.add<Resistor>("rl", ckt.node("vdd"), ckt.node("out"), 10e3);
+  const auto sol = dc_operating_point(ckt);
+  const double vout = node_voltage(ckt, sol, "out");
+  const double i_out = (5.0 - vout) / 10e3;
+  // Copy accuracy within a few percent (lambda mismatch between branches).
+  EXPECT_NEAR(i_out, 100e-6, 8e-6);
+}
+
+TEST(SpiceDc, MirrorRatioScalesWithWidth) {
+  Circuit ckt("mirror2x");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<ISource>("iref", ckt.node("vdd"), ckt.node("ref"), dcv(50e-6));
+  ckt.add<Mosfet>("m1", ckt.node("ref"), ckt.node("ref"), kGround, kGround, m,
+                  10e-6, 2e-6);
+  ckt.add<Mosfet>("m2", ckt.node("out"), ckt.node("ref"), kGround, kGround, m,
+                  20e-6, 2e-6);  // 2x width -> 2x current
+  ckt.add<Resistor>("rl", ckt.node("vdd"), ckt.node("out"), 10e3);
+  const auto sol = dc_operating_point(ckt);
+  const double i_out = (5.0 - node_voltage(ckt, sol, "out")) / 10e3;
+  EXPECT_NEAR(i_out, 100e-6, 10e-6);
+}
+
+TEST(SpiceDc, SourceCurrentMatchesLoad) {
+  Circuit ckt("kcl");
+  ckt.add<VSource>("v1", ckt.node("a"), kGround, dcv(1.0));
+  ckt.add<Resistor>("r1", ckt.node("a"), kGround, 50.0);
+  ckt.add<Resistor>("r2", ckt.node("a"), kGround, 50.0);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_NEAR(source_current(ckt, sol, "v1"), -(1.0 / 50.0 + 1.0 / 50.0), 1e-9);
+}
+
+TEST(SpiceDc, ThrowsForUnknownNode) {
+  Circuit ckt("x");
+  ckt.add<VSource>("v1", ckt.node("a"), kGround, dcv(1.0));
+  ckt.add<Resistor>("r1", ckt.node("a"), kGround, 50.0);
+  const auto sol = dc_operating_point(ckt);
+  EXPECT_THROW(node_voltage(ckt, sol, "nope"), LookupError);
+}
+
+TEST(SpiceDc, EditAfterFinalizeThrows) {
+  Circuit ckt("frozen");
+  ckt.add<VSource>("v1", ckt.node("a"), kGround, dcv(1.0));
+  ckt.add<Resistor>("r1", ckt.node("a"), kGround, 50.0);
+  (void)dc_operating_point(ckt);
+  EXPECT_THROW(ckt.add<Resistor>("r2", ckt.node("a"), kGround, 50.0), Error);
+}
+
+}  // namespace
+}  // namespace ape::spice

@@ -1,0 +1,240 @@
+/// Cross-cutting simulator properties: conservation laws, consistency
+/// between analyses, and randomized sweeps - invariants rather than
+/// single-circuit spot checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/spice/analysis.h"
+#include "src/spice/circuit.h"
+#include "src/spice/devices.h"
+#include "src/spice/measure.h"
+#include "src/spice/parser.h"
+#include "tests/test_models.h"
+
+namespace ape::spice {
+namespace {
+
+Waveform dcv(double v) {
+  Waveform w;
+  w.dc = v;
+  return w;
+}
+
+/// KCL at the converged operating point: for every non-ground node of a
+/// random resistive network, branch currents sum to ~0.
+TEST(SpiceProperty, KclHoldsOnRandomResistiveNetworks) {
+  std::mt19937_64 gen(77);
+  std::uniform_real_distribution<double> rval(100.0, 100e3);
+  std::uniform_int_distribution<int> node_pick(0, 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Circuit ckt("random");
+    std::vector<NodeId> nodes{kGround};
+    for (int i = 0; i < 6; ++i) nodes.push_back(ckt.node("n" + std::to_string(i)));
+    ckt.add<VSource>("v1", nodes[1], kGround, dcv(5.0));
+    // Random resistor mesh; ensure every node has a path to ground.
+    struct Edge { NodeId a, b; double r; };
+    std::vector<Edge> edges;
+    for (int i = 1; i < 6; ++i) {
+      edges.push_back({nodes[static_cast<size_t>(i)], nodes[static_cast<size_t>(i + 1)], rval(gen)});
+    }
+    edges.push_back({nodes[6], kGround, rval(gen)});
+    for (int i = 0; i < 5; ++i) {
+      edges.push_back({nodes[static_cast<size_t>(node_pick(gen)) + 1],
+                       nodes[static_cast<size_t>(node_pick(gen)) + 1], rval(gen)});
+    }
+    int k = 0;
+    for (auto& e : edges) {
+      if (e.a == e.b) continue;
+      ckt.add<Resistor>("r" + std::to_string(k++), e.a, e.b, e.r);
+    }
+    const auto sol = dc_operating_point(ckt);
+    // KCL residual per node from the resistor currents.
+    std::vector<double> residual(7, 0.0);
+    for (const auto& e : edges) {
+      if (e.a == e.b) continue;
+      const double i = (sol.at(e.a) - sol.at(e.b)) / e.r;
+      if (e.a != kGround) residual[static_cast<size_t>(e.a)] -= i;
+      if (e.b != kGround) residual[static_cast<size_t>(e.b)] += i;
+    }
+    // Node n0 carries the source; others must balance to ~gmin leakage.
+    for (int i = 1; i < 7; ++i) {
+      if (nodes[static_cast<size_t>(i)] == ckt.find_node("n0")) continue;
+      EXPECT_NEAR(residual[static_cast<size_t>(nodes[static_cast<size_t>(i)])], 0.0, 1e-8)
+          << "trial " << trial << " node " << i;
+    }
+  }
+}
+
+/// The supply current equals the sum of all branch currents leaving VDD -
+/// power bookkeeping is conservative in a MOS circuit.
+TEST(SpiceProperty, SupplyCurrentMatchesDeviceSum) {
+  Circuit ckt("mirror3");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<ISource>("iref", ckt.node("vdd"), ckt.node("ref"), dcv(50e-6));
+  ckt.add<Mosfet>("m1", ckt.node("ref"), ckt.node("ref"), kGround, kGround, m, 10e-6, 2.4e-6);
+  ckt.add<Mosfet>("m2", ckt.node("o1"), ckt.node("ref"), kGround, kGround, m, 10e-6, 2.4e-6);
+  ckt.add<Mosfet>("m3", ckt.node("o2"), ckt.node("ref"), kGround, kGround, m, 20e-6, 2.4e-6);
+  ckt.add<Resistor>("r1", ckt.node("vdd"), ckt.node("o1"), 20e3);
+  ckt.add<Resistor>("r2", ckt.node("vdd"), ckt.node("o2"), 10e3);
+  const auto sol = dc_operating_point(ckt);
+  const double i_vdd = -source_current(ckt, sol, "vdd");
+  const double i_r1 = (sol.at(ckt.find_node("vdd")) - sol.at(ckt.find_node("o1"))) / 20e3;
+  const double i_r2 = (sol.at(ckt.find_node("vdd")) - sol.at(ckt.find_node("o2"))) / 10e3;
+  EXPECT_NEAR(i_vdd, 50e-6 + i_r1 + i_r2, 1e-8);
+}
+
+/// AC and transient agree: an RC filter's step-response time constant
+/// equals 1/(2 pi f3dB) from the AC sweep.
+TEST(SpiceProperty, AcAndTransientConsistentOnRc) {
+  for (double r : {1e3, 22e3}) {
+    const double c = 4.7e-9;
+    Circuit ckt("rcx");
+    Waveform w;
+    w.kind = Waveform::Kind::Pulse;
+    w.v1 = 0.0;
+    w.v2 = 1.0;
+    w.td = 0.0;
+    w.tr = 1e-9;
+    w.tf = 1e-9;
+    w.pw = 1.0;
+    w.per = 2.0;
+    w.ac_mag = 1.0;
+    ckt.add<VSource>("vin", ckt.node("in"), kGround, w);
+    ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("out"), r);
+    ckt.add<Capacitor>("c1", ckt.node("out"), kGround, c);
+    (void)dc_operating_point(ckt);
+    const auto ac = ac_analysis(ckt, 10.0, 10e6, 20);
+    const Bode bode(ac, ckt.find_node("out"));
+    ASSERT_TRUE(bode.f_3db().has_value());
+    const double tau_ac = 1.0 / (2.0 * M_PI * *bode.f_3db());
+
+    Circuit ckt2("rcx2");
+    ckt2.add<VSource>("vin", ckt2.node("in"), kGround, w);
+    ckt2.add<Resistor>("r1", ckt2.node("in"), ckt2.node("out"), r);
+    ckt2.add<Capacitor>("c1", ckt2.node("out"), kGround, c);
+    const double tau = r * c;
+    const auto tr = transient(ckt2, tau / 50.0, 8.0 * tau);
+    const auto t63 = crossing_time(tr, ckt2.find_node("out"), 1.0 - std::exp(-1.0));
+    ASSERT_TRUE(t63.has_value());
+    EXPECT_NEAR(*t63, tau_ac, tau_ac * 0.03) << "R = " << r;
+  }
+}
+
+/// DC sweep of a diode-connected device reproduces the model's I-V curve.
+TEST(SpiceProperty, DcSweepMatchesModelCurve) {
+  Circuit ckt("sweep");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vg", ckt.node("g"), kGround, dcv(0.0));
+  ckt.add<VSource>("vmeas", ckt.node("g"), ckt.node("d"), dcv(0.0));
+  ckt.add<Mosfet>("m1", ckt.node("d"), ckt.node("d"), kGround, kGround, m,
+                  10e-6, 2.4e-6);
+  const auto sw = dc_sweep(ckt, "vg", 0.5, 3.0, 0.25);
+  ASSERT_EQ(sw.values.size(), 11u);
+  for (size_t k = 0; k < sw.values.size(); ++k) {
+    const double v = sw.values[k];
+    const double want = mos_eval(*m, v, v, 0.0, 10e-6, 2.4e-6).ids;
+    const double got = sw.solutions[k].at(
+        ckt.find_as<VSource>("vmeas").branch());
+    EXPECT_NEAR(got, want, std::max(want * 0.01, 2e-8)) << "Vg = " << v;
+  }
+}
+
+/// DC sweep warm-start equals cold solves point by point.
+TEST(SpiceProperty, DcSweepMatchesPointwiseSolves) {
+  const char* net = R"(inverter
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02 lref=2.4u ld=0.1u)
+Vdd vdd 0 DC 5
+Vg g 0 DC 0
+Rd vdd d 20k
+M1 d g 0 0 mn W=10u L=2.4u
+)";
+  Circuit ckt = parse_netlist(net);
+  const auto sw = dc_sweep(ckt, "Vg", 0.0, 3.0, 0.5);
+  for (size_t k = 0; k < sw.values.size(); ++k) {
+    Circuit cold = parse_netlist(net);
+    cold.find_as<VSource>("Vg").wave().dc = sw.values[k];
+    const auto sol = dc_operating_point(cold);
+    EXPECT_NEAR(sw.voltage(ckt.find_node("d"), k),
+                node_voltage(cold, sol, "d"), 1e-5)
+        << "Vg = " << sw.values[k];
+  }
+}
+
+TEST(SpiceProperty, DcSweepRestoresSourceValue) {
+  const char* net = R"(x
+V1 a 0 DC 1.5
+R1 a 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  (void)dc_sweep(ckt, "V1", 0.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(ckt.find_as<VSource>("V1").wave().dc, 1.5);
+}
+
+TEST(SpiceProperty, DcSweepRejectsBadRange) {
+  const char* net = R"(x
+V1 a 0 DC 1
+R1 a 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  EXPECT_THROW(dc_sweep(ckt, "V1", 1.0, 0.0, 0.1), SpecError);
+  EXPECT_THROW(dc_sweep(ckt, "V1", 0.0, 1.0, -0.1), SpecError);
+}
+
+/// Linearity of the AC solution: doubling the stimulus doubles every
+/// node phasor (the small-signal system is linear by construction, so
+/// this pins the stamping, not physics).
+TEST(SpiceProperty, AcSolutionIsLinearInStimulus) {
+  const char* net = R"(lin
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02)
+Vdd vdd 0 DC 5
+Vg g 0 DC 2 AC 1
+Rd vdd d 10k
+Cl d 0 5p
+M1 d g 0 0 mn W=10u L=2u
+)";
+  Circuit a = parse_netlist(net);
+  (void)dc_operating_point(a);
+  const auto ra = ac_analysis(a, 1e3, 1e7, 5);
+
+  Circuit b = parse_netlist(net);
+  b.find_as<VSource>("Vg").wave().ac_mag = 2.0;
+  (void)dc_operating_point(b);
+  const auto rb = ac_analysis(b, 1e3, 1e7, 5);
+
+  const NodeId d = a.find_node("d");
+  for (size_t k = 0; k < ra.freq_hz.size(); ++k) {
+    const auto ha = ra.voltage(d, k);
+    const auto hb = rb.voltage(d, k);
+    EXPECT_NEAR(std::abs(hb), 2.0 * std::abs(ha), std::abs(ha) * 1e-9);
+  }
+}
+
+/// Mirror output current is monotone in reference current (parameterized
+/// decade sweep).
+class MirrorMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MirrorMonotone, OutputTracksReference) {
+  const double iref = GetParam();
+  Circuit ckt("mm");
+  const auto* m = ckt.add_model(test::nmos_card());
+  ckt.add<VSource>("vdd", ckt.node("vdd"), kGround, dcv(5.0));
+  ckt.add<ISource>("iref", ckt.node("vdd"), ckt.node("ref"), dcv(iref));
+  ckt.add<Mosfet>("m1", ckt.node("ref"), ckt.node("ref"), kGround, kGround, m, 20e-6, 2.4e-6);
+  ckt.add<Mosfet>("m2", ckt.node("out"), ckt.node("ref"), kGround, kGround, m, 20e-6, 2.4e-6);
+  ckt.add<VSource>("vout", ckt.node("out"), kGround, dcv(2.5));
+  const auto sol = dc_operating_point(ckt);
+  // The mirror sinks current out of the probe source's + terminal, so the
+  // branch current (flowing + to - inside the source) reads negative.
+  const double iout = -source_current(ckt, sol, "vout");
+  EXPECT_NEAR(iout, iref, iref * 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decades, MirrorMonotone,
+                         ::testing::Values(1e-6, 5e-6, 20e-6, 100e-6, 400e-6));
+
+}  // namespace
+}  // namespace ape::spice

@@ -1,0 +1,43 @@
+#pragma once
+/// Shared model cards for tests: a representative 1.2um-class CMOS process
+/// (level 1 with capacitance data). Mirrors ape::est::Process::default_1u2().
+
+#include "src/spice/mos_model.h"
+
+namespace ape::test {
+
+inline spice::MosModelCard nmos_card() {
+  spice::MosModelCard m;
+  m.name = "modn";
+  m.type = spice::MosType::Nmos;
+  m.level = 1;
+  m.vto = 0.8;
+  m.kp = 8.0e-5;
+  m.gamma = 0.4;
+  m.phi = 0.6;
+  m.lambda = 0.02;
+  m.tox = 2.0e-8;
+  m.ld = 0.1e-6;
+  m.cgso = 3.0e-10;
+  m.cgdo = 3.0e-10;
+  m.cj = 3.0e-4;
+  m.mj = 0.5;
+  m.cjsw = 3.0e-10;
+  m.mjsw = 0.33;
+  m.pb = 0.8;
+  m.lref = 2.4e-6;
+  return m;
+}
+
+inline spice::MosModelCard pmos_card() {
+  spice::MosModelCard m = nmos_card();
+  m.name = "modp";
+  m.type = spice::MosType::Pmos;
+  m.vto = -0.8;
+  m.kp = 2.8e-5;
+  m.gamma = 0.5;
+  m.lambda = 0.03;
+  return m;
+}
+
+}  // namespace ape::test

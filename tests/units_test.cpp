@@ -1,0 +1,67 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace ape::units {
+namespace {
+
+TEST(Units, ParsesPlainNumbers) {
+  EXPECT_DOUBLE_EQ(*parse("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*parse("1e-6"), 1e-6);
+  EXPECT_DOUBLE_EQ(*parse("2.5E3"), 2.5e3);
+}
+
+TEST(Units, ParsesSiSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(*parse("2.2u"), 2.2e-6);
+  EXPECT_DOUBLE_EQ(*parse("10n"), 10e-9);
+  EXPECT_DOUBLE_EQ(*parse("4p"), 4e-12);
+  EXPECT_DOUBLE_EQ(*parse("3f"), 3e-15);
+  EXPECT_DOUBLE_EQ(*parse("1.5m"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(*parse("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(*parse("2t"), 2e12);
+}
+
+TEST(Units, MegIsCaseInsensitiveAndDistinctFromMilli) {
+  EXPECT_DOUBLE_EQ(*parse("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse("1M"), 1e-3);  // SPICE: M is milli!
+}
+
+TEST(Units, MilIsMicroInch) { EXPECT_NEAR(*parse("1mil"), 25.4e-6, 1e-12); }
+
+TEST(Units, IgnoresTrailingUnitNames) {
+  EXPECT_DOUBLE_EQ(*parse("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(*parse("5kohm"), 5e3);
+  EXPECT_DOUBLE_EQ(*parse("3V"), 3.0);
+}
+
+TEST(Units, RejectsGarbage) {
+  EXPECT_FALSE(parse("abc").has_value());
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("1.2.3").has_value());
+  EXPECT_FALSE(parse("4k2").has_value());
+}
+
+TEST(Units, ParseOrThrowReportsContext) {
+  EXPECT_THROW(parse_or_throw("xyz", "line 7"), ape::ParseError);
+  EXPECT_DOUBLE_EQ(parse_or_throw("1u", "ctx"), 1e-6);
+}
+
+TEST(Units, FormatEngPicksPrefix) {
+  EXPECT_EQ(format_eng(2.5e-6), "2.5u");
+  EXPECT_EQ(format_eng(1e3), "1k");
+  EXPECT_EQ(format_eng(0.0), "0");
+}
+
+TEST(Units, FormatEngRoundTripsThroughParse) {
+  for (double v : {1.0, 3.3e-9, 4.7e3, 2.2e-12, 8.1e6}) {
+    EXPECT_NEAR(*parse(format_eng(v, 9)), v, std::abs(v) * 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ape::units

@@ -1,0 +1,143 @@
+/// Tests for the estimator-to-simulator bridge (src/estimator/verify.*)
+/// and failure-injection paths: what happens when circuits cannot
+/// converge, probes are missing, or measurements have nothing to measure.
+
+#include "src/estimator/verify.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/analysis.h"
+#include "src/spice/parser.h"
+#include "src/util/error.h"
+
+namespace ape::est {
+namespace {
+
+class VerifyTest : public ::testing::Test {
+protected:
+  Process proc_ = Process::default_1u2();
+};
+
+TEST_F(VerifyTest, SimulateExtractsAllBasicFields) {
+  Testbench tb;
+  tb.netlist = R"(bridge
+Vdd vdd 0 DC 5
+Vin in 0 DC 1 AC 1
+R1 vdd out 10k
+R2 in out 10k
+C1 out 0 1n
+)";
+  tb.out_node = "out";
+  tb.in_source = "Vin";
+  tb.supply_source = "Vdd";
+  const SimMeasurement m = simulate(tb, 10.0, 10e6, 10);
+  EXPECT_NEAR(m.out_dc, 3.0, 1e-6);   // (5 + 1)/2 through the divider
+  EXPECT_NEAR(m.dc_gain, 0.5, 1e-3);  // R-R divider from the AC input
+  EXPECT_GT(m.power, 0.0);
+  ASSERT_TRUE(m.f3db_hz.has_value());
+  // Pole at 1/(2 pi (R1||R2) C).
+  EXPECT_NEAR(*m.f3db_hz, 1.0 / (2.0 * M_PI * 5e3 * 1e-9), 2e3);
+}
+
+TEST_F(VerifyTest, DifferentialProbeSubtracts) {
+  Testbench tb;
+  tb.netlist = R"(diffprobe
+Vin in 0 AC 1
+R1 in a 1k
+R2 a 0 1k
+R3 in b 1k
+R4 b 0 3k
+)";
+  tb.out_node = "b";    // 0.75
+  tb.out_node2 = "a";   // 0.50
+  tb.in_source = "Vin";
+  const SimMeasurement m = simulate(tb, 10.0, 1e3, 5);
+  EXPECT_NEAR(m.dc_gain, 0.25, 1e-6);
+}
+
+TEST_F(VerifyTest, NegativeGainCarriesSign) {
+  Testbench tb;
+  tb.netlist = R"(inverting
+Vin in 0 AC 1
+E1 out 0 0 in 2
+Rl out 0 1k
+)";
+  tb.out_node = "out";
+  tb.in_source = "Vin";
+  const SimMeasurement m = simulate(tb, 10.0, 1e3, 5);
+  EXPECT_NEAR(m.dc_gain, -2.0, 1e-6);
+}
+
+TEST_F(VerifyTest, ZoutMeasuredThroughProbeSource) {
+  Testbench tb;
+  tb.netlist = R"(zout
+V1 out 0 DC 2 AC 1
+R1 out 0 5k
+)";
+  tb.out_node = "out";
+  tb.in_source = "V1";
+  const SimMeasurement m = simulate(tb, 10.0, 1e3, 5);
+  // AC 1 V across 5k: |I| = 0.2 mA -> zout = 5k.
+  EXPECT_NEAR(m.zout, 5e3, 1.0);
+}
+
+TEST_F(VerifyTest, SimulateThrowsOnGarbageNetlist) {
+  Testbench tb;
+  tb.netlist = "title\nR1 a 0\n";
+  tb.out_node = "a";
+  EXPECT_THROW(simulate(tb), ParseError);
+}
+
+TEST_F(VerifyTest, SimulateThrowsOnMissingProbe) {
+  Testbench tb;
+  tb.netlist = R"(ok
+Vin in 0 AC 1
+R1 in 0 1k
+)";
+  tb.out_node = "nonexistent";
+  EXPECT_THROW(simulate(tb), LookupError);
+}
+
+TEST_F(VerifyTest, DcNonConvergenceSurfacesAsNumericError) {
+  // An unsatisfiable loop: two ideal sources forcing different voltages
+  // across the same node pair -> singular MNA at every gmin step.
+  Testbench tb;
+  tb.netlist = R"(conflict
+V1 a 0 DC 1
+V2 a 0 DC 2
+R1 a 0 1k
+)";
+  tb.out_node = "a";
+  EXPECT_THROW(simulate(tb), NumericError);
+}
+
+TEST_F(VerifyTest, OpAmpReportSurvivesTransientTrouble) {
+  // simulate_opamp must return AC results even when asked for a transient
+  // on a design whose step response is marginal; slew falls back to 0
+  // rather than poisoning the report.
+  OpAmpSpec spec;
+  spec.gain = 150;
+  spec.ugf_hz = 2e6;
+  spec.ibias = 5e-6;
+  spec.cload = 10e-12;
+  const OpAmpDesign d = OpAmpEstimator(proc_).estimate(spec);
+  const OpAmpSimReport r = simulate_opamp(d, proc_, /*with_transient=*/true);
+  EXPECT_GT(r.gain, 150.0);
+  ASSERT_TRUE(r.ugf_hz.has_value());
+  EXPECT_GE(r.slew, 0.0);
+}
+
+TEST_F(VerifyTest, ComponentReportContainsCmrrOnlyForDiffPairs) {
+  const ComponentEstimator ce(proc_);
+  ComponentSpec mirror{ComponentKind::CurrentMirror, 100e-6, 0.0, 0.0, 0.0};
+  const ComponentSimReport rm = simulate_component(ce.estimate(mirror), proc_);
+  EXPECT_FALSE(rm.cmrr_db.has_value());
+  ComponentSpec diff{ComponentKind::DiffCmos, 1e-6, 1000.0, 0.0, 0.5e-12};
+  const ComponentSimReport rd = simulate_component(ce.estimate(diff), proc_);
+  EXPECT_TRUE(rd.cmrr_db.has_value());
+}
+
+}  // namespace
+}  // namespace ape::est
