@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_awe.dir/bench_ablation_awe.cpp.o"
+  "CMakeFiles/bench_ablation_awe.dir/bench_ablation_awe.cpp.o.d"
+  "bench_ablation_awe"
+  "bench_ablation_awe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_awe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

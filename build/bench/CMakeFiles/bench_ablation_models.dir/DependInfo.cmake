@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_models.cpp" "bench/CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/ape_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/ape_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ape_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

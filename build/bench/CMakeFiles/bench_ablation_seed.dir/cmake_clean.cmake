@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seed.dir/bench_ablation_seed.cpp.o"
+  "CMakeFiles/bench_ablation_seed.dir/bench_ablation_seed.cpp.o.d"
+  "bench_ablation_seed"
+  "bench_ablation_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ape_speed.dir/bench_ape_speed.cpp.o"
+  "CMakeFiles/bench_ape_speed.dir/bench_ape_speed.cpp.o.d"
+  "bench_ape_speed"
+  "bench_ape_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ape_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_adc.dir/flash_adc.cpp.o"
+  "CMakeFiles/flash_adc.dir/flash_adc.cpp.o.d"
+  "flash_adc"
+  "flash_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

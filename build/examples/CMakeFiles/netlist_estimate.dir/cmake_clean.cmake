@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_estimate.dir/netlist_estimate.cpp.o"
+  "CMakeFiles/netlist_estimate.dir/netlist_estimate.cpp.o.d"
+  "netlist_estimate"
+  "netlist_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_designer.dir/opamp_designer.cpp.o"
+  "CMakeFiles/opamp_designer.dir/opamp_designer.cpp.o.d"
+  "opamp_designer"
+  "opamp_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

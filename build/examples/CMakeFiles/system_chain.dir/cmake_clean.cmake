@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_chain.dir/system_chain.cpp.o"
+  "CMakeFiles/system_chain.dir/system_chain.cpp.o.d"
+  "system_chain"
+  "system_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimator/component_testbench.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/component_testbench.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/component_testbench.cpp.o.d"
+  "/root/repo/src/estimator/components.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/components.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/components.cpp.o.d"
+  "/root/repo/src/estimator/constraints.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/constraints.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/constraints.cpp.o.d"
+  "/root/repo/src/estimator/modules.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/modules.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/modules.cpp.o.d"
+  "/root/repo/src/estimator/modules_extra.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/modules_extra.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/modules_extra.cpp.o.d"
+  "/root/repo/src/estimator/netlist.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/netlist.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/netlist.cpp.o.d"
+  "/root/repo/src/estimator/opamp.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/opamp.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/opamp.cpp.o.d"
+  "/root/repo/src/estimator/opamp_testbench.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/opamp_testbench.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/opamp_testbench.cpp.o.d"
+  "/root/repo/src/estimator/process.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/process.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/process.cpp.o.d"
+  "/root/repo/src/estimator/transistor.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/transistor.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/transistor.cpp.o.d"
+  "/root/repo/src/estimator/verify.cpp" "src/estimator/CMakeFiles/ape_estimator.dir/verify.cpp.o" "gcc" "src/estimator/CMakeFiles/ape_estimator.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ape_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

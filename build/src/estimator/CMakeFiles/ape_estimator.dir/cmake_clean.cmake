@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_estimator.dir/component_testbench.cpp.o"
+  "CMakeFiles/ape_estimator.dir/component_testbench.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/components.cpp.o"
+  "CMakeFiles/ape_estimator.dir/components.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/constraints.cpp.o"
+  "CMakeFiles/ape_estimator.dir/constraints.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/modules.cpp.o"
+  "CMakeFiles/ape_estimator.dir/modules.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/modules_extra.cpp.o"
+  "CMakeFiles/ape_estimator.dir/modules_extra.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/netlist.cpp.o"
+  "CMakeFiles/ape_estimator.dir/netlist.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/opamp.cpp.o"
+  "CMakeFiles/ape_estimator.dir/opamp.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/opamp_testbench.cpp.o"
+  "CMakeFiles/ape_estimator.dir/opamp_testbench.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/process.cpp.o"
+  "CMakeFiles/ape_estimator.dir/process.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/transistor.cpp.o"
+  "CMakeFiles/ape_estimator.dir/transistor.cpp.o.d"
+  "CMakeFiles/ape_estimator.dir/verify.cpp.o"
+  "CMakeFiles/ape_estimator.dir/verify.cpp.o.d"
+  "libape_estimator.a"
+  "libape_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/analysis.cpp" "src/spice/CMakeFiles/ape_spice.dir/analysis.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/analysis.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/ape_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/spice/CMakeFiles/ape_spice.dir/devices.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/devices.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/spice/CMakeFiles/ape_spice.dir/measure.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/measure.cpp.o.d"
+  "/root/repo/src/spice/mos_model.cpp" "src/spice/CMakeFiles/ape_spice.dir/mos_model.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/mos_model.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/spice/CMakeFiles/ape_spice.dir/noise.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/noise.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/ape_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/ape_spice.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

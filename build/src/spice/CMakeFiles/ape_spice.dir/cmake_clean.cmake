@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_spice.dir/analysis.cpp.o"
+  "CMakeFiles/ape_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/circuit.cpp.o"
+  "CMakeFiles/ape_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/devices.cpp.o"
+  "CMakeFiles/ape_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/measure.cpp.o"
+  "CMakeFiles/ape_spice.dir/measure.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/mos_model.cpp.o"
+  "CMakeFiles/ape_spice.dir/mos_model.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/noise.cpp.o"
+  "CMakeFiles/ape_spice.dir/noise.cpp.o.d"
+  "CMakeFiles/ape_spice.dir/parser.cpp.o"
+  "CMakeFiles/ape_spice.dir/parser.cpp.o.d"
+  "libape_spice.a"
+  "libape_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

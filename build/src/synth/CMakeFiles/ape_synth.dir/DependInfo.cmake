@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/anneal.cpp" "src/synth/CMakeFiles/ape_synth.dir/anneal.cpp.o" "gcc" "src/synth/CMakeFiles/ape_synth.dir/anneal.cpp.o.d"
+  "/root/repo/src/synth/astrx.cpp" "src/synth/CMakeFiles/ape_synth.dir/astrx.cpp.o" "gcc" "src/synth/CMakeFiles/ape_synth.dir/astrx.cpp.o.d"
+  "/root/repo/src/synth/awe.cpp" "src/synth/CMakeFiles/ape_synth.dir/awe.cpp.o" "gcc" "src/synth/CMakeFiles/ape_synth.dir/awe.cpp.o.d"
+  "/root/repo/src/synth/netlist_estimate.cpp" "src/synth/CMakeFiles/ape_synth.dir/netlist_estimate.cpp.o" "gcc" "src/synth/CMakeFiles/ape_synth.dir/netlist_estimate.cpp.o.d"
+  "/root/repo/src/synth/sizing.cpp" "src/synth/CMakeFiles/ape_synth.dir/sizing.cpp.o" "gcc" "src/synth/CMakeFiles/ape_synth.dir/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimator/CMakeFiles/ape_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ape_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_synth.dir/anneal.cpp.o"
+  "CMakeFiles/ape_synth.dir/anneal.cpp.o.d"
+  "CMakeFiles/ape_synth.dir/astrx.cpp.o"
+  "CMakeFiles/ape_synth.dir/astrx.cpp.o.d"
+  "CMakeFiles/ape_synth.dir/awe.cpp.o"
+  "CMakeFiles/ape_synth.dir/awe.cpp.o.d"
+  "CMakeFiles/ape_synth.dir/netlist_estimate.cpp.o"
+  "CMakeFiles/ape_synth.dir/netlist_estimate.cpp.o.d"
+  "CMakeFiles/ape_synth.dir/sizing.cpp.o"
+  "CMakeFiles/ape_synth.dir/sizing.cpp.o.d"
+  "libape_synth.a"
+  "libape_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_util.dir/poly.cpp.o"
+  "CMakeFiles/ape_util.dir/poly.cpp.o.d"
+  "CMakeFiles/ape_util.dir/units.cpp.o"
+  "CMakeFiles/ape_util.dir/units.cpp.o.d"
+  "libape_util.a"
+  "libape_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astrx_test.dir/astrx_test.cpp.o"
+  "CMakeFiles/astrx_test.dir/astrx_test.cpp.o.d"
+  "astrx_test"
+  "astrx_test.pdb"
+  "astrx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astrx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

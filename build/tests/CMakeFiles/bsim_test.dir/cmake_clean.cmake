@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_test.dir/bsim_test.cpp.o"
+  "CMakeFiles/bsim_test.dir/bsim_test.cpp.o.d"
+  "bsim_test"
+  "bsim_test.pdb"
+  "bsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

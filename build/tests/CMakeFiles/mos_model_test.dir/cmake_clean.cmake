@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mos_model_test.dir/mos_model_test.cpp.o"
+  "CMakeFiles/mos_model_test.dir/mos_model_test.cpp.o.d"
+  "mos_model_test"
+  "mos_model_test.pdb"
+  "mos_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mos_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

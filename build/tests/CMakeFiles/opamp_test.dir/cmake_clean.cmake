@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_test.dir/opamp_test.cpp.o"
+  "CMakeFiles/opamp_test.dir/opamp_test.cpp.o.d"
+  "opamp_test"
+  "opamp_test.pdb"
+  "opamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

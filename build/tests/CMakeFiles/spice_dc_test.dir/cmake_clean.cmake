@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_dc_test.dir/spice_dc_test.cpp.o"
+  "CMakeFiles/spice_dc_test.dir/spice_dc_test.cpp.o.d"
+  "spice_dc_test"
+  "spice_dc_test.pdb"
+  "spice_dc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_tran_test.dir/spice_tran_test.cpp.o"
+  "CMakeFiles/spice_tran_test.dir/spice_tran_test.cpp.o.d"
+  "spice_tran_test"
+  "spice_tran_test.pdb"
+  "spice_tran_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_tran_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transistor_test.dir/transistor_test.cpp.o"
+  "CMakeFiles/transistor_test.dir/transistor_test.cpp.o.d"
+  "transistor_test"
+  "transistor_test.pdb"
+  "transistor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transistor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/units_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/mos_model_test[1]_include.cmake")
+include("/root/repo/build/tests/bsim_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_dc_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_ac_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_tran_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_property_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_test[1]_include.cmake")
+include("/root/repo/build/tests/transistor_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/opamp_test[1]_include.cmake")
+include("/root/repo/build/tests/modules_test[1]_include.cmake")
+include("/root/repo/build/tests/modules_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/anneal_test[1]_include.cmake")
+include("/root/repo/build/tests/awe_test[1]_include.cmake")
+include("/root/repo/build/tests/sizing_test[1]_include.cmake")
+include("/root/repo/build/tests/astrx_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_estimate_test[1]_include.cmake")
