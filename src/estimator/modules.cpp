@@ -320,6 +320,7 @@ Testbench macro_testbench(const ModuleDesign& d, const Process& proc) {
 }
 
 ModuleDesign ModuleEstimator::estimate(const ModuleSpec& spec) const {
+  ErrorContext scope("module-estimator");
   switch (spec.kind) {
     case ModuleKind::AudioAmp: return audio_amp(spec);
     case ModuleKind::SampleHold: return sample_hold(spec);

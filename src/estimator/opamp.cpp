@@ -47,6 +47,7 @@ TransistorDesign mirror_device(const TransistorEstimator& x, const Process& p,
 }  // namespace
 
 OpAmpDesign OpAmpEstimator::estimate(const OpAmpSpec& spec) const {
+  ErrorContext scope("opamp-estimator");
   // Iterate the gm1 margin so the parasitic-corrected UGF estimate meets
   // the spec (the raw gm1/(2 pi Cc) formula overshoots by the Miller
   // overlap of M6 and the second-pole magnitude droop).

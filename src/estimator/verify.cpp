@@ -135,6 +135,7 @@ ComponentSimReport simulate_component(const ComponentDesign& design,
 
 OpAmpSimReport simulate_opamp(const OpAmpDesign& design, const Process& proc,
                               bool with_transient) {
+  ErrorContext scope("simulate_opamp");
   OpAmpSimReport r;
 
   // Open-loop AC: gain, UGF, phase margin, power, tail current.

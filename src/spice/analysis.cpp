@@ -4,17 +4,31 @@
 #include <cmath>
 
 #include "src/spice/devices.h"
+#include "src/spice/fault.h"
 #include "src/util/matrix.h"
+#include "src/util/units.h"
 
 namespace ape::spice {
 namespace {
 
+/// True when every entry of \p v is finite. A single NaN/inf from a
+/// near-singular solve or a poisoned stamp would otherwise masquerade as
+/// a huge Newton update and burn the whole iteration budget.
+bool all_finite(const std::vector<double>& v) {
+  for (double e : v) {
+    if (!std::isfinite(e)) return false;
+  }
+  return true;
+}
+
 /// One damped Newton solve of the (already finalized) circuit at a fixed
 /// gmin / source scale. Returns true on convergence; x is updated in place.
+/// Counters are accumulated into \p rep when non-null.
 bool newton_dc(Circuit& ckt, Solution& x, double gmin, double src_scale,
-               const DcOptions& opts) {
+               const DcOptions& opts, ConvergenceReport* rep) {
   const size_t dim = ckt.dim();
   const size_t n_nodes = ckt.num_nodes();
+  FaultInjector* fi = fault_injector();
   MnaReal mna(dim);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     mna.clear();
@@ -22,11 +36,23 @@ bool newton_dc(Circuit& ckt, Solution& x, double gmin, double src_scale,
     for (size_t i = 0; i < n_nodes; ++i) {
       mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), gmin);
     }
+    if (fi != nullptr) fi->on_assembly(mna);
+    if (rep != nullptr) ++rep->newton_iterations;
     std::vector<double> xnew;
     try {
+      if (fi != nullptr && fi->on_lu_solve()) {
+        throw NumericError("LU: injected singular matrix");
+      }
       LuSolver<double> lu(mna.matrix());
       xnew = lu.solve(mna.rhs());
     } catch (const NumericError&) {
+      if (rep != nullptr) ++rep->lu_failures;
+      return false;
+    }
+    // Fail fast on a non-finite solution: iterating from NaN can never
+    // recover, so report non-convergence and let the ladder move on.
+    if (!all_finite(xnew)) {
+      if (rep != nullptr) ++rep->nonfinite_rejections;
       return false;
     }
 
@@ -51,50 +77,80 @@ bool newton_dc(Circuit& ckt, Solution& x, double gmin, double src_scale,
       if (std::fabs(step) > tol) converged = false;
       x.x[i] = next;
     }
-    if (converged && max_ratio == 1.0 && iter > 0) return true;
+    if (converged && max_ratio == 1.0 && iter > 0) {
+      if (fi != nullptr && fi->on_dc_convergence(gmin, src_scale)) {
+        if (rep != nullptr) ++rep->convergence_vetoes;
+        return false;
+      }
+      return true;
+    }
   }
   return false;
+}
+
+/// Throw when the cooperative budget expired (checked between rungs so a
+/// deadline can never abandon a half-updated solution vector).
+void check_budget(const RunBudget* budget, const char* where) {
+  if (budget != nullptr && budget->exhausted()) {
+    throw NumericError(std::string(where) + ": run budget exhausted");
+  }
 }
 
 }  // namespace
 
 Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
+  ErrorContext scope("dc('" + ckt.title() + "')");
   ckt.finalize();
+  ConvergenceReport local_report;
+  ConvergenceReport* rep = opts.report != nullptr ? opts.report : &local_report;
+  *rep = ConvergenceReport{};
   Solution x;
   x.x.assign(ckt.dim(), 0.0);
 
   // Plan A: gmin stepping from a heavily damped system down to ~ideal.
   bool ok = true;
   for (double gmin : opts.gmin_steps) {
-    if (!newton_dc(ckt, x, gmin, 1.0, opts)) {
+    check_budget(opts.budget, "dc_operating_point");
+    if (!newton_dc(ckt, x, gmin, 1.0, opts, rep)) {
       ok = false;
       break;
     }
+    ++rep->gmin_rungs_completed;
+    rep->final_gmin = gmin;
   }
+  if (ok) rep->plan = DcPlan::GminLadder;
 
   if (!ok) {
     // Plan B: source stepping with a fixed medium gmin, then the ladder.
     x.x.assign(ckt.dim(), 0.0);
+    rep->gmin_rungs_completed = 0;
     ok = true;
     for (double s : opts.source_steps) {
-      if (!newton_dc(ckt, x, 1e-9, s, opts)) {
+      check_budget(opts.budget, "dc_operating_point");
+      if (!newton_dc(ckt, x, 1e-9, s, opts, rep)) {
         ok = false;
         break;
       }
+      ++rep->source_steps_completed;
     }
     if (ok) {
       for (double gmin : opts.gmin_steps) {
-        if (!newton_dc(ckt, x, gmin, 1.0, opts)) {
+        check_budget(opts.budget, "dc_operating_point");
+        if (!newton_dc(ckt, x, gmin, 1.0, opts, rep)) {
           ok = false;
           break;
         }
+        ++rep->gmin_rungs_completed;
+        rep->final_gmin = gmin;
       }
     }
+    if (ok) rep->plan = DcPlan::SourceStepping;
   }
   if (!ok) {
     throw NumericError("dc_operating_point: Newton failed to converge for '" +
-                       ckt.title() + "'");
+                       ckt.title() + "' (" + rep->summary() + ")");
   }
+  rep->converged = true;
   for (const auto& dev : ckt.devices()) dev->save_op(x);
   return x;
 }
@@ -110,23 +166,43 @@ double source_current(Circuit& ckt, const Solution& sol, const std::string& vsou
 
 DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
                        double stop, double step, const DcOptions& opts) {
+  ErrorContext scope("dc_sweep('" + vsource + "')");
   if (step <= 0.0 || stop < start) throw SpecError("dc_sweep: bad range");
   auto& vs = ckt.find_as<VSource>(vsource);
   const double original = vs.wave().dc;
+
+  // Full-ladder solve at the current sweep value; a failure restores the
+  // source and reports exactly which sweep point could not converge.
+  auto solve_at = [&](double v, Solution& x) {
+    try {
+      x = dc_operating_point(ckt, opts);
+    } catch (const Error& e) {
+      vs.wave().dc = original;
+      throw NumericError("dc_sweep('" + vsource + "'): failed at sweep value " +
+                         units::format_eng(v) + " V: " + e.what());
+    }
+  };
 
   DcSweepResult res;
   // Full gmin-stepped solve at the first point; subsequent points are a
   // single warm-started Newton pass at the final gmin.
   vs.wave().dc = start;
-  Solution x = dc_operating_point(ckt, opts);
+  Solution x;
+  solve_at(start, x);
   res.values.push_back(start);
   res.solutions.push_back(x);
   for (double v = start + step; v <= stop + 0.5 * step; v += step) {
     vs.wave().dc = v;
-    if (!newton_dc(ckt, x, opts.gmin_steps.back(), 1.0, opts)) {
+    if (opts.budget != nullptr && opts.budget->exhausted()) {
+      vs.wave().dc = original;
+      throw NumericError("dc_sweep('" + vsource +
+                         "'): run budget exhausted at sweep value " +
+                         units::format_eng(v) + " V");
+    }
+    if (!newton_dc(ckt, x, opts.gmin_steps.back(), 1.0, opts, opts.report)) {
       // Fall back to the full ladder if the warm start fails.
       x.x.assign(ckt.dim(), 0.0);
-      x = dc_operating_point(ckt, opts);
+      solve_at(v, x);
     }
     res.values.push_back(v);
     res.solutions.push_back(x);
@@ -138,6 +214,7 @@ DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
 
 AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
                      int points_per_decade) {
+  ErrorContext scope("ac('" + ckt.title() + "')");
   if (!ckt.finalized()) {
     throw Error("ac_analysis: run dc_operating_point first");
   }
@@ -167,9 +244,13 @@ AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
 
 TranResult transient(Circuit& ckt, double t_step, double t_stop,
                      const TranOptions& opts) {
+  ErrorContext scope("transient('" + ckt.title() + "')");
   if (t_step <= 0.0 || t_stop <= t_step) {
     throw SpecError("transient: bad time range");
   }
+  ConvergenceReport local_report;
+  ConvergenceReport* rep = opts.report != nullptr ? opts.report : &local_report;
+  *rep = ConvergenceReport{};
   Solution x = dc_operating_point(ckt);
 
   TranResult out;
@@ -178,29 +259,51 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
 
   const size_t dim = ckt.dim();
   const size_t n_nodes = ckt.num_nodes();
+  FaultInjector* fi = fault_injector();
   MnaReal mna(dim);
 
   double t = 0.0;
   bool first = true;
   while (t < t_stop - 1e-15) {
-    double dt = std::min(t_step, t_stop - t);
-    // Try the step; on Newton failure halve dt (bounded retries).
+    // Advance one user-grid interval; sub-steps taken on Newton failure
+    // stay internal so the output grid is exactly the user grid.
+    const double t_target = std::min(t + t_step, t_stop);
+    double dt = t_target - t;
     int halvings = 0;
-    for (;;) {
+    while (t < t_target - 1e-15) {
+      if (opts.budget != nullptr && opts.budget->exhausted()) {
+        throw NumericError("transient: run budget exhausted at t=" +
+                           units::format_eng(t) + " s");
+      }
+      dt = std::min(dt, t_target - t);
       TranContext tc{dt, t + dt, first};
       Solution xc = x;  // start Newton from previous accepted point
       bool converged = false;
-      for (int iter = 0; iter < opts.max_iterations; ++iter) {
+      const bool vetoed = fi != nullptr && fi->on_transient_step();
+      if (vetoed) ++rep->convergence_vetoes;
+      for (int iter = 0; !vetoed && iter < opts.max_iterations; ++iter) {
         mna.clear();
         for (const auto& dev : ckt.devices()) dev->stamp_tran(mna, xc, tc);
         for (size_t i = 0; i < n_nodes; ++i) {
           mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), 1e-12);
         }
+        if (fi != nullptr) fi->on_assembly(mna);
+        ++rep->newton_iterations;
         std::vector<double> xnew;
         try {
+          if (fi != nullptr && fi->on_lu_solve()) {
+            throw NumericError("LU: injected singular matrix");
+          }
           LuSolver<double> lu(mna.matrix());
           xnew = lu.solve(mna.rhs());
         } catch (const NumericError&) {
+          ++rep->lu_failures;
+          break;
+        }
+        // Fail fast on non-finite solutions (poisoned stamp, blow-up):
+        // halving dt is the only move with a chance of recovering.
+        if (!all_finite(xnew)) {
+          ++rep->nonfinite_rejections;
           break;
         }
         converged = true;
@@ -219,17 +322,20 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
         x = std::move(xc);
         t += dt;
         first = false;
-        // Record only the user-grid points when we sub-stepped.
-        out.time_s.push_back(t);
-        out.solutions.push_back(x);
-        break;
+        continue;
       }
       if (++halvings > opts.max_step_halvings) {
-        throw NumericError("transient: Newton failed at t=" + std::to_string(t));
+        throw NumericError("transient: Newton failed at t=" +
+                           units::format_eng(t) + " s (" + rep->summary() + ")");
       }
+      ++rep->step_halvings;
       dt *= 0.5;
     }
+    t = t_target;  // land exactly on the grid point (no FP drift)
+    out.time_s.push_back(t);
+    out.solutions.push_back(x);
   }
+  rep->converged = true;
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/spice/circuit.h"
+#include "src/util/diagnostics.h"
 
 namespace ape::spice {
 
@@ -27,11 +28,19 @@ struct DcOptions {
                                  1e-8, 1e-9, 1e-10, 1e-11, 1e-12};
   /// Source-stepping ladder tried if plain gmin stepping fails.
   std::vector<double> source_steps{0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  /// When set, filled with which recovery plan converged and the solve's
+  /// iteration / failure counters (reset at the start of each call).
+  ConvergenceReport* report = nullptr;
+  /// Cooperative deadline: checked between ladder rungs; an exhausted
+  /// budget aborts the solve with a NumericError (never mid-iteration).
+  const RunBudget* budget = nullptr;
 };
 
 /// Solve the DC operating point. On success every device has its
 /// operating point cached (Device::save_op) so AC / transient analyses
-/// can follow. Throws NumericError if Newton fails to converge.
+/// can follow. Throws NumericError if Newton fails to converge; the
+/// message carries the ErrorContext provenance chain and the
+/// ConvergenceReport summary of how far the recovery ladder got.
 Solution dc_operating_point(Circuit& ckt, const DcOptions& opts = {});
 
 /// Node voltage by name from a solution.
@@ -51,7 +60,9 @@ struct DcSweepResult {
 };
 
 /// Sweep \p vsource from \p start to \p stop (inclusive) in steps of
-/// \p step. Devices keep the op cache of the LAST point.
+/// \p step. Devices keep the op cache of the LAST point. A mid-sweep
+/// convergence failure throws a NumericError naming the failing sweep
+/// value; the swept source's DC value is restored first.
 DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
                        double stop, double step, const DcOptions& opts = {});
 
@@ -90,10 +101,18 @@ struct TranOptions {
   double reltol = 1e-4;
   double vntol = 1e-6;
   int max_step_halvings = 8;  ///< local dt refinement on Newton failure
+  /// When set, filled with step-halving / failure counters for the run.
+  ConvergenceReport* report = nullptr;
+  /// Cooperative deadline: checked between time steps; an exhausted
+  /// budget aborts with a NumericError naming the time reached.
+  const RunBudget* budget = nullptr;
 };
 
 /// Fixed-step transient from the DC operating point at t = 0.
 /// Runs dc_operating_point() internally to establish initial conditions.
+/// The output grid is exactly the user grid (0, t_step, 2*t_step, ...,
+/// t_stop) even when Newton failures force internal sub-stepping;
+/// sub-step solutions are used for integration but never recorded.
 TranResult transient(Circuit& ckt, double t_step, double t_stop,
                      const TranOptions& opts = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/util/error.h"
 
@@ -24,19 +25,36 @@ AnnealResult anneal(const std::function<double(const std::vector<double>&)>& cos
   std::vector<double> x = x0;
   double c = cost(x);
   res.start_cost = c;
-  res.best_x = x;
-  res.best_cost = c;
   res.evaluations = 1;
+  if (opts.budget != nullptr) opts.budget->charge(1);
+
+  // Finite-cost contract: a NaN/inf cost is never accepted and never
+  // stored as best_cost. A non-finite start is treated as +inf so the
+  // first finite candidate always displaces it; until one shows up
+  // best_cost is +inf (a deliberate "no feasible point seen" sentinel).
+  res.best_x = x;
+  if (std::isfinite(c)) {
+    res.best_cost = c;
+  } else {
+    ++res.rejected_nonfinite;
+    c = std::numeric_limits<double>::infinity();
+    res.best_cost = c;
+  }
 
   // Geometric cooling from t_start to t_end over the iteration budget.
-  const double t_start = std::max(std::fabs(c), 1e-6) * opts.t_start_frac;
-  const double t_end = std::max(std::fabs(c), 1e-6) * opts.t_end_frac;
+  const double c_scale = std::isfinite(c) ? std::fabs(c) : 1.0;
+  const double t_start = std::max(c_scale, 1e-6) * opts.t_start_frac;
+  const double t_end = std::max(c_scale, 1e-6) * opts.t_end_frac;
   const double alpha =
       std::pow(t_end / t_start, 1.0 / std::max(opts.iterations - 1, 1));
 
   double t = t_start;
   std::vector<double> cand = x;
   for (int it = 1; it < opts.iterations; ++it, t *= alpha) {
+    if (opts.budget != nullptr && opts.budget->exhausted()) {
+      res.budget_exhausted = true;
+      break;
+    }
     // Move: perturb one coordinate; the move range shrinks with T.
     cand = x;
     const size_t j = rng.index(n);
@@ -49,6 +67,14 @@ AnnealResult anneal(const std::function<double(const std::vector<double>&)>& cos
     }
     const double cc = cost(cand);
     ++res.evaluations;
+    if (opts.budget != nullptr) opts.budget->charge(1);
+    if (!std::isfinite(cc)) {
+      // Reject outright: a NaN delta would otherwise poison the
+      // acceptance test (NaN comparisons are all false, so the uphill
+      // branch could accept an infeasible point as the new state).
+      ++res.rejected_nonfinite;
+      continue;
+    }
     const double dc = cc - c;
     if (dc <= 0.0 || rng.uniform() < std::exp(-dc / std::max(t, 1e-300))) {
       x = cand;

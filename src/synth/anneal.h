@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/diagnostics.h"
 #include "src/util/rng.h"
 
 namespace ape::synth {
@@ -18,6 +19,11 @@ struct AnnealOptions {
   double t_end_frac = 1e-5;   ///< final temperature fraction
   double move_frac = 0.25;    ///< initial move size as a fraction of range
   uint64_t seed = 1;
+  /// Cooperative budget (deadline and/or evaluation cap); checked once
+  /// per iteration. When it expires the search stops and returns its
+  /// best-so-far point with evaluations < iterations. Each cost
+  /// evaluation charges one unit. Not owned.
+  RunBudget* budget = nullptr;
 };
 
 struct AnnealResult {
@@ -26,11 +32,19 @@ struct AnnealResult {
   double start_cost = 0.0;
   int evaluations = 0;
   int accepted = 0;
+  /// Candidates whose cost came back NaN/inf: always rejected (the
+  /// acceptance test and best-point tracking only ever see finite
+  /// costs), counted here so callers can spot a sick cost function.
+  int rejected_nonfinite = 0;
+  bool budget_exhausted = false;  ///< stopped early on an expired RunBudget
 };
 
 /// Minimize \p cost over the box \p bounds starting from \p x0 (clamped
-/// into the box). The cost function must be finite; return large values
-/// (not inf/NaN) for infeasible points.
+/// into the box). The cost function should be finite and return large
+/// values for infeasible points; NaN/inf costs are tolerated by treating
+/// the candidate as rejected (see AnnealResult::rejected_nonfinite), and
+/// a cost throwing ape::Error propagates (synthesis drivers wrap their
+/// cost functions to absorb per-candidate failures).
 AnnealResult anneal(const std::function<double(const std::vector<double>&)>& cost,
                     const std::vector<std::pair<double, double>>& bounds,
                     std::vector<double> x0, const AnnealOptions& opts = {});

@@ -5,12 +5,19 @@
 #include <cmath>
 
 #include "src/spice/analysis.h"
+#include "src/spice/fault.h"
 #include "src/spice/measure.h"
 #include "src/spice/parser.h"
+#include "src/util/diagnostics.h"
 #include "src/util/error.h"
 
 namespace ape::synth {
 namespace {
+
+/// Cost assigned to candidates whose evaluation threw: a plateau far
+/// above any real constraint-violation cost so the annealer walks away,
+/// while the failure is counted instead of silently dropped.
+constexpr double kSkippedCandidateCost = 1e6;
 
 using est::ModuleDesign;
 using est::ModuleKind;
@@ -39,6 +46,7 @@ std::vector<double> box_center(const std::vector<std::pair<double, double>>& b) 
 
 SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
                                   const SynthesisOptions& opts) {
+  ErrorContext scope("synthesize_opamp");
   const double t0 = now_seconds();
   const bool buffered = spec.buffer;
 
@@ -56,15 +64,28 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   OpAmpSpec target = spec;
   target.gain *= opts.target_margin;
   target.ugf_hz *= opts.target_margin;
+  int skipped = 0;
   auto cost_fn = [&](const std::vector<double>& x) {
-    const OpAmpVars v = OpAmpVars::unpack(x, buffered);
-    return opamp_cost(evaluate_opamp_vars(proc, v, spec.ibias, spec.cload),
-                      target);
+    try {
+      if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
+      const OpAmpVars v = OpAmpVars::unpack(x, buffered);
+      return opamp_cost(evaluate_opamp_vars(proc, v, spec.ibias, spec.cload),
+                        target);
+    } catch (const Error&) {
+      // A candidate the estimator cannot evaluate (SpecError on a wild
+      // geometry, numerical failure) is a bad point, not a dead run.
+      ++skipped;
+      return kSkippedCandidateCost;
+    }
   };
   const AnnealResult ar = anneal(cost_fn, bounds, x0, opts.anneal);
 
   SynthesisOutcome out;
   out.cost = ar.best_cost;
+  out.skipped_candidates = skipped;
+  out.rejected_nonfinite = ar.rejected_nonfinite;
+  out.budget_exhausted = ar.budget_exhausted;
+  out.evaluations = ar.evaluations;
   const OpAmpVars best = OpAmpVars::unpack(ar.best_x, buffered);
   const OpAmpEval ev = evaluate_opamp_vars(proc, best, spec.ibias, spec.cload);
   out.functional = ev.functional;
@@ -220,7 +241,7 @@ struct ModuleMetrics {
 };
 
 ModuleMetrics module_metrics_fast(const Process& proc, const ModuleDesign& d,
-                                  bool functional) {
+                                  bool functional, int* skipped) {
   ModuleMetrics m;
   m.area = 0.0;
   for (const auto& a : d.opamps) m.area += a.perf.gate_area;
@@ -263,7 +284,10 @@ ModuleMetrics module_metrics_fast(const Process& proc, const ModuleDesign& d,
     m.slew = d.opamps.front().perf.slew;
     m.ok = true;
   } catch (const Error&) {
+    // Macromodel netlist failed to parse/solve for this candidate:
+    // score it as non-functional and count the skip.
     m.ok = false;
+    if (skipped != nullptr) ++*skipped;
   }
   return m;
 }
@@ -326,6 +350,7 @@ double module_cost(const ModuleMetrics& m, const ModuleSpec& spec,
 
 void verify_module(const Process& proc, const ModuleDesign& d,
                    ModuleSynthesisOutcome& out) {
+  ErrorContext scope("verify_module");
   const est::Testbench tb = d.testbench(proc);
   spice::Circuit ckt = spice::parse_netlist(tb.netlist);
 
@@ -384,6 +409,7 @@ void verify_module(const Process& proc, const ModuleDesign& d,
 ModuleSynthesisOutcome synthesize_module(const Process& proc,
                                          const ModuleSpec& spec,
                                          const SynthesisOptions& opts) {
+  ErrorContext scope("synthesize_module");
   if (!table5_kind(spec.kind)) {
     throw SpecError(
         "synthesize_module: only the Table-5 module kinds (amp, s&h, adc, "
@@ -427,16 +453,27 @@ ModuleSynthesisOutcome synthesize_module(const Process& proc,
     x0 = box_center(bounds);
   }
 
+  int skipped = 0;
   auto cost_fn = [&](const std::vector<double>& x) {
-    bool functional = false;
-    const ModuleDesign cand = module_from_vars(proc, proto, x, &functional);
-    return module_cost(module_metrics_fast(proc, cand, functional), spec,
-                       functional);
+    try {
+      if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
+      bool functional = false;
+      const ModuleDesign cand = module_from_vars(proc, proto, x, &functional);
+      return module_cost(module_metrics_fast(proc, cand, functional, &skipped),
+                         spec, functional);
+    } catch (const Error&) {
+      ++skipped;
+      return kSkippedCandidateCost;
+    }
   };
   const AnnealResult ar = anneal(cost_fn, bounds, x0, opts.anneal);
 
   ModuleSynthesisOutcome out;
   out.cost = ar.best_cost;
+  out.skipped_candidates = skipped;
+  out.rejected_nonfinite = ar.rejected_nonfinite;
+  out.budget_exhausted = ar.budget_exhausted;
+  out.evaluations = ar.evaluations;
   bool functional = false;
   out.design = module_from_vars(proc, proto, ar.best_x, &functional);
   out.functional = functional;

@@ -35,6 +35,12 @@ struct SynthesisOutcome {
   double cpu_seconds = 0.0;      ///< wall-clock of the search
   bool meets_spec = false;       ///< simulator-verified constraint check
   std::string comment;           ///< Table-1 style diagnosis
+  /// Candidates whose evaluation threw an ape::Error: scored with a
+  /// large penalty and skipped, never dropped silently.
+  int skipped_candidates = 0;
+  int rejected_nonfinite = 0;    ///< NaN/inf costs rejected by the annealer
+  bool budget_exhausted = false; ///< search stopped early on RunBudget expiry
+  int evaluations = 0;           ///< cost evaluations actually performed
 };
 
 /// Size a two-stage opamp to \p spec. Blind mode ignores APE entirely;
@@ -51,6 +57,12 @@ struct ModuleSynthesisOutcome {
   double cpu_seconds = 0.0;
   bool meets_spec = false;
   std::string comment;
+  /// Per-candidate failures absorbed during the search (see
+  /// SynthesisOutcome for field semantics).
+  int skipped_candidates = 0;
+  int rejected_nonfinite = 0;
+  bool budget_exhausted = false;
+  int evaluations = 0;
   // Simulator-verified module metrics (meaning depends on the kind).
   double sim_gain = 0.0;
   double sim_bw_hz = 0.0;

@@ -1,0 +1,118 @@
+#include "src/util/diagnostics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/util/units.h"
+
+namespace ape {
+namespace {
+
+/// The per-thread provenance stack. A plain vector of strings: scopes
+/// are short-lived and shallow (a handful of frames), so no cleverness.
+std::vector<std::string>& context_stack() {
+  static thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+}  // namespace
+
+std::string annotate_with_context(const std::string& what) {
+  const auto& stack = context_stack();
+  if (stack.empty()) return what;
+  std::string out = "[";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += stack[i];
+  }
+  out += "] ";
+  out += what;
+  return out;
+}
+
+ErrorContext::ErrorContext(std::string frame) {
+  context_stack().push_back(std::move(frame));
+}
+
+ErrorContext::~ErrorContext() { context_stack().pop_back(); }
+
+std::string ErrorContext::chain() {
+  const auto& stack = context_stack();
+  std::string out;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += stack[i];
+  }
+  return out;
+}
+
+size_t ErrorContext::depth() { return context_stack().size(); }
+
+// ---------------------------------------------------------------------------
+
+const char* to_string(DcPlan plan) {
+  switch (plan) {
+    case DcPlan::GminLadder: return "gmin-ladder";
+    case DcPlan::SourceStepping: return "source-stepping";
+    case DcPlan::None: break;
+  }
+  return "none";
+}
+
+std::string ConvergenceReport::summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "FAILED") << " plan=" << to_string(plan)
+     << " gmin=" << units::format_eng(final_gmin)
+     << " rungs=" << gmin_rungs_completed
+     << " src_steps=" << source_steps_completed
+     << " newton_iters=" << newton_iterations;
+  if (lu_failures > 0) os << " lu_failures=" << lu_failures;
+  if (nonfinite_rejections > 0) os << " nonfinite=" << nonfinite_rejections;
+  if (step_halvings > 0) os << " halvings=" << step_halvings;
+  if (convergence_vetoes > 0) os << " vetoes=" << convergence_vetoes;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+RunBudget RunBudget::with_deadline(double seconds) {
+  RunBudget b;
+  b.set_deadline_in(seconds);
+  return b;
+}
+
+RunBudget RunBudget::with_evaluations(long n) {
+  RunBudget b;
+  b.set_max_evaluations(n);
+  return b;
+}
+
+void RunBudget::set_deadline_in(double seconds) {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  has_deadline_ = true;
+}
+
+void RunBudget::set_max_evaluations(long n) { max_evals_ = n; }
+
+bool RunBudget::charge(long n) {
+  used_ += n;
+  return !exhausted();
+}
+
+bool RunBudget::exhausted() const {
+  if (max_evals_ >= 0 && used_ >= max_evals_) return true;
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) return true;
+  return false;
+}
+
+double RunBudget::seconds_left() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace ape

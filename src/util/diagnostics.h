@@ -1,0 +1,124 @@
+#pragma once
+/// \file diagnostics.h
+/// Provenance, convergence and budget diagnostics shared by every layer.
+///
+/// Three small tools that make failures diagnosable and runs bounded:
+///
+/// - ErrorContext: an RAII scope stack. Each layer that starts a logical
+///   unit of work (module -> component -> device -> solver plan) opens a
+///   scope; every ape::Error constructed while scopes are open is
+///   automatically prefixed with the full chain, so a deep numerical
+///   failure names the synthesis candidate, circuit and plan it occurred
+///   in without any layer having to re-wrap exceptions.
+/// - ConvergenceReport: a record of which recovery plan a DC / transient
+///   solve used (gmin rung reached, source steps, Newton iterations,
+///   step halvings), filled in when the caller asks for it.
+/// - RunBudget: a cooperative budget (wall-clock deadline and/or max
+///   cost evaluations). Long-running loops poll it and return their
+///   best-so-far result instead of overrunning.
+///
+/// The scope stack is thread_local: it is the one deliberate exception
+/// to the "no global mutable state" convention (DESIGN.md section 5),
+/// justified because provenance must cross layers that do not know about
+/// each other, and a thread_local stack keeps it race-free.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ape {
+
+/// Prefix \p what with the currently open ErrorContext chain (no-op when
+/// no scope is open). Called by the ape::Error constructor.
+std::string annotate_with_context(const std::string& what);
+
+/// RAII frame on the thread-local provenance stack.
+///
+///   ErrorContext scope("dc_operating_point('" + ckt.title() + "')");
+///
+/// Any ape::Error thrown (by any layer) while the scope is alive carries
+/// "[outer -> ... -> dc_operating_point('rc')] original message".
+class ErrorContext {
+public:
+  explicit ErrorContext(std::string frame);
+  ~ErrorContext();
+
+  ErrorContext(const ErrorContext&) = delete;
+  ErrorContext& operator=(const ErrorContext&) = delete;
+
+  /// The chain of open frames joined with " -> " ("" when empty).
+  static std::string chain();
+
+  /// Number of open frames on this thread.
+  static size_t depth();
+};
+
+// ---------------------------------------------------------------------------
+
+/// Which plan finally converged a DC operating-point solve.
+enum class DcPlan {
+  None,            ///< no solve recorded / nothing converged
+  GminLadder,      ///< plain gmin stepping (Plan A)
+  SourceStepping,  ///< source stepping then the gmin ladder (Plan B)
+};
+
+const char* to_string(DcPlan plan);
+
+/// Filled by dc_operating_point() / transient() when the caller passes a
+/// report pointer in the options. All counters are totals for the call.
+struct ConvergenceReport {
+  bool converged = false;
+  DcPlan plan = DcPlan::None;
+  double final_gmin = 0.0;          ///< last gmin rung that converged
+  int gmin_rungs_completed = 0;     ///< rungs of the final ladder that converged
+  int source_steps_completed = 0;   ///< source-stepping rungs that converged
+  long newton_iterations = 0;       ///< Newton iterations across all rungs
+  int lu_failures = 0;              ///< singular-matrix LU solves observed
+  int nonfinite_rejections = 0;     ///< fail-fast aborts on non-finite solutions
+  int step_halvings = 0;            ///< transient local dt refinements
+  int convergence_vetoes = 0;       ///< injected non-convergence (tests only)
+
+  /// One-line human-readable summary for logs / error messages.
+  std::string summary() const;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Cooperative run budget: a wall-clock deadline and/or a cap on cost
+/// evaluations. Unlimited by default. Loops call charge() per unit of
+/// work and stop (returning best-so-far) once exhausted() is true;
+/// nothing is enforced preemptively, so a budget can never corrupt state
+/// mid-operation.
+class RunBudget {
+public:
+  RunBudget() = default;  ///< unlimited
+
+  /// Budget that expires \p seconds from now.
+  static RunBudget with_deadline(double seconds);
+  /// Budget allowing at most \p n charged evaluations.
+  static RunBudget with_evaluations(long n);
+
+  void set_deadline_in(double seconds);
+  void set_max_evaluations(long n);
+
+  /// Record \p n units of work. Returns true while within budget.
+  bool charge(long n = 1);
+
+  /// True once the deadline passed or the evaluation cap is reached.
+  bool exhausted() const;
+
+  long evaluations_used() const { return used_; }
+  long max_evaluations() const { return max_evals_; }
+
+  /// Seconds until the deadline (+inf when none; <= 0 when expired).
+  double seconds_left() const;
+
+private:
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  long max_evals_ = -1;  ///< -1 = uncapped
+  long used_ = 0;
+};
+
+}  // namespace ape

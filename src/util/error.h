@@ -4,16 +4,24 @@
 ///
 /// All library errors derive from ape::Error (itself a std::runtime_error)
 /// so callers can catch either the whole family or a specific condition.
+///
+/// Every ape::Error is automatically prefixed with the provenance chain
+/// of the ErrorContext scopes open on the throwing thread (see
+/// diagnostics.h), so deep failures name the module / component / device
+/// / solver plan they occurred in without manual re-wrapping.
 
 #include <stdexcept>
 #include <string>
+
+#include "src/util/diagnostics.h"
 
 namespace ape {
 
 /// Base class of every exception thrown by the APE library.
 class Error : public std::runtime_error {
 public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(annotate_with_context(what)) {}
 };
 
 /// A user specification cannot be met (e.g. requested gm at the given

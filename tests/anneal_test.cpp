@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "src/util/error.h"
 
@@ -86,6 +87,25 @@ TEST(Anneal, RejectsBadInput) {
   auto cost = [](const std::vector<double>&) { return 0.0; };
   EXPECT_THROW(anneal(cost, {{0, 1}}, {0.0, 0.0}, {}), SpecError);
   EXPECT_THROW(anneal(cost, {{1, 0}}, {0.5}, {}), SpecError);
+}
+
+TEST(Anneal, InfiniteCostIsRejectedAndCounted) {
+  // The documented finite-cost contract, enforced: +inf (like NaN) can
+  // never win the acceptance test nor become best_cost.
+  auto cost = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  AnnealOptions opts;
+  opts.iterations = 3000;
+  opts.seed = 11;
+  const auto r = anneal(cost, {{-2.0, 2.0}}, {1.5}, opts);
+  EXPECT_GT(r.rejected_nonfinite, 0);
+  EXPECT_TRUE(std::isfinite(r.best_cost));
+  EXPECT_GE(r.best_x[0], 0.0);
+  EXPECT_NEAR(r.best_x[0], 0.5, 0.2);
+  // Every iteration still evaluated: rejection skips acceptance, not work.
+  EXPECT_EQ(r.evaluations, opts.iterations);
 }
 
 TEST(Anneal, NarrowBoundsBeatWideBoundsOnBudget) {

@@ -1,0 +1,116 @@
+#include "src/util/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "src/util/error.h"
+
+namespace ape {
+namespace {
+
+TEST(ErrorContext, ChainJoinsOpenFrames) {
+  EXPECT_EQ(ErrorContext::chain(), "");
+  EXPECT_EQ(ErrorContext::depth(), 0u);
+  ErrorContext outer("module");
+  {
+    ErrorContext inner("component");
+    EXPECT_EQ(ErrorContext::chain(), "module -> component");
+    EXPECT_EQ(ErrorContext::depth(), 2u);
+  }
+  EXPECT_EQ(ErrorContext::chain(), "module");
+  EXPECT_EQ(ErrorContext::depth(), 1u);
+}
+
+TEST(ErrorContext, ApeErrorsCarryTheChain) {
+  ErrorContext outer("synthesize_opamp");
+  ErrorContext inner("dc('testbench')");
+  const Error e("Newton failed");
+  EXPECT_EQ(std::string(e.what()),
+            "[synthesize_opamp -> dc('testbench')] Newton failed");
+  // Subclasses are annotated through the same base constructor.
+  const NumericError n("singular");
+  EXPECT_EQ(std::string(n.what()),
+            "[synthesize_opamp -> dc('testbench')] singular");
+}
+
+TEST(ErrorContext, NoChainMeansNoPrefix) {
+  const Error e("plain message");
+  EXPECT_EQ(std::string(e.what()), "plain message");
+}
+
+TEST(ErrorContext, StackIsPerThread) {
+  ErrorContext scope("main-thread-frame");
+  std::string other_chain = "unset";
+  std::thread t([&] { other_chain = ErrorContext::chain(); });
+  t.join();
+  EXPECT_EQ(other_chain, "");
+  EXPECT_EQ(ErrorContext::chain(), "main-thread-frame");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RunBudget, UnlimitedByDefault) {
+  RunBudget b;
+  EXPECT_FALSE(b.exhausted());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.charge());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.evaluations_used(), 1000);
+  EXPECT_TRUE(std::isinf(b.seconds_left()));
+}
+
+TEST(RunBudget, EvaluationCap) {
+  RunBudget b = RunBudget::with_evaluations(3);
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_TRUE(b.charge());   // 1
+  EXPECT_TRUE(b.charge());   // 2
+  EXPECT_FALSE(b.charge());  // 3: cap reached
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.evaluations_used(), 3);
+}
+
+TEST(RunBudget, ExpiredDeadline) {
+  RunBudget b = RunBudget::with_deadline(0.0);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LE(b.seconds_left(), 0.0);
+}
+
+TEST(RunBudget, FutureDeadline) {
+  RunBudget b = RunBudget::with_deadline(60.0);
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_GT(b.seconds_left(), 30.0);
+  // Charging evaluations does not expire a pure-deadline budget.
+  for (int i = 0; i < 100; ++i) b.charge();
+  EXPECT_FALSE(b.exhausted());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ConvergenceReport, SummaryNamesPlanAndCounters) {
+  ConvergenceReport rep;
+  rep.converged = true;
+  rep.plan = DcPlan::SourceStepping;
+  rep.final_gmin = 1e-12;
+  rep.gmin_rungs_completed = 11;
+  rep.source_steps_completed = 6;
+  rep.newton_iterations = 42;
+  rep.lu_failures = 1;
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("converged"), std::string::npos);
+  EXPECT_NE(s.find("source-stepping"), std::string::npos);
+  EXPECT_NE(s.find("rungs=11"), std::string::npos);
+  EXPECT_NE(s.find("src_steps=6"), std::string::npos);
+  EXPECT_NE(s.find("newton_iters=42"), std::string::npos);
+  EXPECT_NE(s.find("lu_failures=1"), std::string::npos);
+}
+
+TEST(ConvergenceReport, FailedSummary) {
+  ConvergenceReport rep;
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("FAILED"), std::string::npos);
+  EXPECT_NE(s.find("plan=none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ape
