@@ -3,13 +3,28 @@
 /// combined was 0.12 seconds" and "within 0.14 seconds for all the
 /// [module] examples". google-benchmark microbenches over each level of
 /// the hierarchy plus the two headline batch figures.
+///
+/// On top of the microbenches, a serial-vs-pooled batch comparison
+/// (DESIGN.md §7) drives a 32-spec synthesis batch through
+/// runtime::run_opamp_batch at 1 thread and at the hardware thread
+/// count, checks the two runs are bit-identical, and writes the
+/// machine-readable BENCH_ape_speed.json (jobs/s, speedup, cache hit
+/// rate) that seeds the performance trajectory. Skip it with
+/// --no-batch when only the microbenches are wanted.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/estimator/components.h"
 #include "src/estimator/modules.h"
 #include "src/estimator/opamp.h"
+#include "src/runtime/batch.h"
 
 using namespace ape;
 using namespace ape::est;
@@ -76,4 +91,133 @@ static void BM_ApeAllFiveModules(benchmark::State& state) {
 }
 BENCHMARK(BM_ApeAllFiveModules)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// Serial vs pooled batch comparison -> BENCH_ape_speed.json.
+
+namespace {
+
+/// The 32-spec batch of the determinism/speedup acceptance check: the
+/// ten Table-1 specs cycled with small spec perturbations so the shared
+/// estimate cache sees both repeats (hits) and fresh specs (misses).
+std::vector<OpAmpSpec> batch32() {
+  const auto rows = bench::table1_specs();
+  std::vector<OpAmpSpec> specs;
+  for (size_t i = 0; i < 32; ++i) {
+    OpAmpSpec s = bench::to_spec(rows[i % rows.size()]);
+    if (i >= 20) s.gain *= 1.0 + 0.01 * double(i - 20);  // 12 distinct extras
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+runtime::BatchOptions batch_options(int threads,
+                                    runtime::EstimateCache* cache) {
+  runtime::BatchOptions o;
+  o.threads = threads;
+  o.seed = 99;
+  o.cache = cache;
+  o.synth.use_ape_seed = true;
+  o.synth.anneal.iterations = 400;  // real search, batch-sized
+  return o;
+}
+
+bool same_outcome(const synth::SynthesisOutcome& a,
+                  const synth::SynthesisOutcome& b) {
+  if (a.cost != b.cost || a.evaluations != b.evaluations ||
+      a.meets_spec != b.meets_spec) {
+    return false;
+  }
+  if (a.design.transistors.size() != b.design.transistors.size()) return false;
+  for (size_t i = 0; i < a.design.transistors.size(); ++i) {
+    if (a.design.transistors[i].w != b.design.transistors[i].w ||
+        a.design.transistors[i].l != b.design.transistors[i].l) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_batch_comparison() {
+  const auto specs = batch32();
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("\n-- batch mode: %zu specs, serial vs %d threads --\n",
+              specs.size(), hw);
+  runtime::EstimateCache serial_cache;
+  const auto serial =
+      runtime::run_opamp_batch(proc(), specs, batch_options(1, &serial_cache));
+  runtime::EstimateCache pooled_cache;
+  const auto pooled =
+      runtime::run_opamp_batch(proc(), specs, batch_options(hw, &pooled_cache));
+
+  bool identical = serial.jobs.size() == pooled.jobs.size();
+  for (size_t i = 0; identical && i < serial.jobs.size(); ++i) {
+    identical = serial.jobs[i].ok == pooled.jobs[i].ok &&
+                (!serial.jobs[i].ok ||
+                 same_outcome(serial.jobs[i].outcome, pooled.jobs[i].outcome));
+  }
+  const double speedup = pooled.stats.wall_seconds > 0.0
+                             ? serial.stats.wall_seconds /
+                                   pooled.stats.wall_seconds
+                             : 0.0;
+
+  std::printf("serial: %.2f s (%.2f jobs/s)\n", serial.stats.wall_seconds,
+              serial.stats.jobs_per_second);
+  std::printf("pooled: %.2f s (%.2f jobs/s) on %d threads -> %.2fx\n",
+              pooled.stats.wall_seconds, pooled.stats.jobs_per_second, hw,
+              speedup);
+  std::printf("deterministic match: %s, cache hit rate %.2f\n",
+              identical ? "yes" : "NO", pooled.stats.cache.hit_rate());
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\n"
+      "  \"jobs\": %zu,\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"serial_seconds\": %.6f,\n"
+      "  \"pooled_seconds\": %.6f,\n"
+      "  \"serial_jobs_per_second\": %.3f,\n"
+      "  \"pooled_jobs_per_second\": %.3f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"deterministic_match\": %s,\n"
+      "  \"failed_jobs\": %d,\n"
+      "  \"cache_hits\": %ld,\n"
+      "  \"cache_misses\": %ld,\n"
+      "  \"cache_hit_rate\": %.4f\n"
+      "}\n",
+      specs.size(), hw, serial.stats.wall_seconds, pooled.stats.wall_seconds,
+      serial.stats.jobs_per_second, pooled.stats.jobs_per_second, speedup,
+      identical ? "true" : "false", pooled.stats.failed,
+      pooled.stats.cache.hits, pooled.stats.cache.misses,
+      pooled.stats.cache.hit_rate());
+  const char* path = "BENCH_ape_speed.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool with_batch = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-batch") == 0) {
+      with_batch = false;
+      for (int k = i; k + 1 < argc; ++k) argv[k] = argv[k + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return with_batch ? run_batch_comparison() : 0;
+}

@@ -1,0 +1,292 @@
+/// ape_batch — batch estimation / synthesis over a spec file.
+///
+/// The service-shaped front end of the batch runtime (DESIGN.md §7):
+/// reads opamp specs (one per line, `key=value` tokens), fans them
+/// across the runtime::Executor pool with a shared estimate cache, and
+/// emits per-job JSON plus aggregate throughput.
+///
+///   ape_batch                           # built-in Table-1 spec set
+///   ape_batch --threads 8 specs.txt     # pooled synthesis batch
+///   ape_batch --estimate-only specs.txt # APE estimates only (no anneal)
+///
+/// Spec file grammar (one spec per line, '#' starts a comment):
+///
+///   name=oa0 gain=200 ugf=1.3e6 ibias=1e-6 cload=10e-12 \
+///       source=wilson buffer=1 zout=1e3 area=5000e-12
+///
+/// Unknown keys are rejected; omitted keys keep OpAmpSpec defaults.
+/// Output is a single JSON document on stdout (or --out FILE):
+/// {"config":{...},"jobs":[...],"aggregate":{...}}.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/runtime/batch.h"
+#include "src/runtime/cache.h"
+#include "src/util/error.h"
+
+using namespace ape;
+
+namespace {
+
+struct NamedSpec {
+  std::string name;
+  est::OpAmpSpec spec;
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ape_batch: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+/// Parse one `key=value` token into \p out.
+void apply_token(const std::string& tok, int line_no, NamedSpec& out) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    die("line " + std::to_string(line_no) + ": expected key=value, got '" +
+        tok + "'");
+  }
+  const std::string key = tok.substr(0, eq);
+  const std::string val = tok.substr(eq + 1);
+  auto num = [&] {
+    try {
+      size_t used = 0;
+      const double v = std::stod(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+      return v;
+    } catch (const std::exception&) {
+      die("line " + std::to_string(line_no) + ": bad number '" + val +
+          "' for key '" + key + "'");
+    }
+  };
+  if (key == "name") {
+    out.name = val;
+  } else if (key == "gain") {
+    out.spec.gain = num();
+  } else if (key == "ugf") {
+    out.spec.ugf_hz = num();
+  } else if (key == "ibias") {
+    out.spec.ibias = num();
+  } else if (key == "cload") {
+    out.spec.cload = num();
+  } else if (key == "zout") {
+    out.spec.zout = num();
+  } else if (key == "area") {
+    out.spec.area_budget = num();
+  } else if (key == "buffer") {
+    out.spec.buffer = num() != 0.0;
+  } else if (key == "source") {
+    if (val == "mirror") {
+      out.spec.source = est::CurrentSourceKind::Mirror;
+    } else if (val == "wilson") {
+      out.spec.source = est::CurrentSourceKind::Wilson;
+    } else {
+      die("line " + std::to_string(line_no) +
+          ": source must be mirror|wilson, got '" + val + "'");
+    }
+  } else {
+    die("line " + std::to_string(line_no) + ": unknown key '" + key + "'");
+  }
+}
+
+std::vector<NamedSpec> read_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) die("cannot open spec file '" + path + "'");
+  std::vector<NamedSpec> specs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string tok;
+    NamedSpec ns;
+    bool any = false;
+    while (tokens >> tok) {
+      apply_token(tok, line_no, ns);
+      any = true;
+    }
+    if (!any) continue;
+    if (ns.name.empty()) ns.name = "job" + std::to_string(specs.size());
+    specs.push_back(std::move(ns));
+  }
+  if (specs.empty()) die("spec file '" + path + "' contains no specs");
+  return specs;
+}
+
+std::vector<NamedSpec> builtin_specs() {
+  std::vector<NamedSpec> specs;
+  for (const auto& row : bench::table1_specs()) {
+    specs.push_back({row.name, bench::to_spec(row)});
+  }
+  return specs;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void put_kv(std::string& json, const char* key, double v, bool comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, v);
+  json += buf;
+  if (comma) json += ',';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::BatchOptions options;
+  options.synth.use_ape_seed = true;
+  options.synth.anneal.iterations = 2000;
+  bool estimate_only = false;
+  std::string spec_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--iters") {
+      options.synth.anneal.iterations = std::atoi(next().c_str());
+    } else if (arg == "--restarts") {
+      options.synth.restarts = std::atoi(next().c_str());
+    } else if (arg == "--blind") {
+      options.synth.use_ape_seed = false;
+    } else if (arg == "--estimate-only") {
+      estimate_only = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ape_batch [--threads N] [--seed S] [--iters N]\n"
+          "                 [--restarts M] [--blind] [--estimate-only]\n"
+          "                 [--out FILE] [specfile]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option '" + arg + "' (see --help)");
+    } else {
+      spec_path = arg;
+    }
+  }
+
+  const std::vector<NamedSpec> named =
+      spec_path.empty() ? builtin_specs() : read_spec_file(spec_path);
+  std::vector<est::OpAmpSpec> specs;
+  specs.reserve(named.size());
+  for (const auto& ns : named) specs.push_back(ns.spec);
+
+  const est::Process proc = est::Process::default_1u2();
+  runtime::EstimateCache cache;
+  options.cache = &cache;
+
+  std::string json = "{\"config\":{";
+  put_kv(json, "jobs", double(specs.size()));
+  put_kv(json, "seed", double(options.seed));
+  put_kv(json, "iterations", double(options.synth.anneal.iterations));
+  put_kv(json, "restarts", double(options.synth.restarts));
+  json += std::string("\"mode\":\"") +
+          (estimate_only ? "estimate" : "synthesize") + "\"},\n\"jobs\":[\n";
+
+  runtime::BatchStats stats;
+  if (estimate_only) {
+    const auto r = runtime::estimate_opamp_batch(proc, specs, options);
+    stats = r.stats;
+    for (size_t i = 0; i < r.jobs.size(); ++i) {
+      const auto& j = r.jobs[i];
+      json += "{\"name\":\"" + json_escape(named[i].name) + "\",";
+      put_kv(json, "index", double(j.index));
+      if (j.ok) {
+        json += "\"ok\":true,";
+        const est::OpAmpPerf& p = j.outcome->perf;
+        put_kv(json, "gain", p.gain);
+        put_kv(json, "ugf_hz", p.ugf_hz);
+        put_kv(json, "phase_margin", p.phase_margin);
+        put_kv(json, "gate_area", p.gate_area);
+        put_kv(json, "dc_power", p.dc_power, false);
+      } else {
+        json += "\"ok\":false,\"error\":\"" + json_escape(j.error) + "\"";
+      }
+      json += i + 1 < r.jobs.size() ? "},\n" : "}\n";
+    }
+  } else {
+    const auto r = runtime::run_opamp_batch(proc, specs, options);
+    stats = r.stats;
+    for (size_t i = 0; i < r.jobs.size(); ++i) {
+      const auto& j = r.jobs[i];
+      json += "{\"name\":\"" + json_escape(named[i].name) + "\",";
+      put_kv(json, "index", double(j.index));
+      if (j.ok) {
+        const synth::SynthesisOutcome& o = j.outcome;
+        json += "\"ok\":true,";
+        json += std::string("\"meets_spec\":") +
+                (o.meets_spec ? "true," : "false,");
+        json += "\"comment\":\"" + json_escape(o.comment) + "\",";
+        put_kv(json, "cost", o.cost);
+        put_kv(json, "evaluations", double(o.evaluations));
+        put_kv(json, "skipped_candidates", double(o.skipped_candidates));
+        put_kv(json, "sim_gain", o.sim.gain);
+        put_kv(json, "sim_ugf_hz", o.sim.ugf_hz.value_or(0.0));
+        put_kv(json, "gate_area", o.design.perf.gate_area);
+        put_kv(json, "cpu_seconds", o.cpu_seconds, false);
+      } else {
+        json += "\"ok\":false,\"error\":\"" + json_escape(j.error) + "\"";
+      }
+      json += i + 1 < r.jobs.size() ? "},\n" : "}\n";
+    }
+  }
+
+  json += "],\n\"aggregate\":{";
+  put_kv(json, "jobs", double(stats.jobs));
+  put_kv(json, "failed", double(stats.failed));
+  put_kv(json, "met_spec", double(stats.met_spec));
+  put_kv(json, "threads", double(stats.threads));
+  put_kv(json, "wall_seconds", stats.wall_seconds);
+  put_kv(json, "jobs_per_second", stats.jobs_per_second);
+  put_kv(json, "cache_hits", double(stats.cache.hits));
+  put_kv(json, "cache_misses", double(stats.cache.misses));
+  put_kv(json, "cache_hit_rate", stats.cache.hit_rate(), false);
+  json += "}}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) die("cannot write '" + out_path + "'");
+    out << json;
+    std::fprintf(stderr, "ape_batch: wrote %s (%d jobs, %.2f jobs/s)\n",
+                 out_path.c_str(), stats.jobs, stats.jobs_per_second);
+  }
+  return stats.failed == 0 ? 0 : 1;
+}

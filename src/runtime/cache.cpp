@@ -1,0 +1,96 @@
+#include "src/runtime/cache.h"
+
+#include <cstdio>
+
+namespace ape::runtime {
+namespace {
+
+/// Append a double in hex-float form: exact (no rounding collisions) and
+/// locale-independent, so the key is a faithful fingerprint of the value.
+void put(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a;", v);
+  out += buf;
+}
+
+void put(std::string& out, const spice::MosModelCard& c) {
+  out += c.name;
+  out += ';';
+  out += std::to_string(static_cast<int>(c.type));
+  out += ';';
+  out += std::to_string(c.level);
+  out += ';';
+  // Every numeric field of the card, DC through noise (parser order).
+  for (double v : {c.vto, c.kp, c.gamma, c.phi, c.lambda, c.u0, c.tox,
+                   c.nsub, c.ld, c.ucrit, c.uexp, c.vmax, c.theta, c.eta,
+                   c.kappa, c.xj, c.vfb, c.k1, c.k2, c.muz, c.u0v, c.u1,
+                   c.cgso, c.cgdo, c.cgbo, c.cj, c.mj, c.cjsw, c.mjsw,
+                   c.pb, c.js, c.kf, c.af, c.rsh, c.lref}) {
+    put(out, v);
+  }
+}
+
+std::string process_key(const est::Process& proc) {
+  std::string key;
+  key.reserve(512);
+  key += proc.name;
+  key += '|';
+  put(key, proc.nmos);
+  key += '|';
+  put(key, proc.pmos);
+  key += '|';
+  for (double v : {proc.vdd, proc.vss, proc.lmin, proc.wmin, proc.wmax}) {
+    put(key, v);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string cache_key(const est::Process& proc, const est::OpAmpSpec& spec) {
+  std::string key = process_key(proc);
+  key += "|opamp|";
+  key += std::to_string(static_cast<int>(spec.source));
+  key += spec.buffer ? ";1;" : ";0;";
+  for (double v : {spec.gain, spec.ugf_hz, spec.ibias, spec.cload, spec.zout,
+                   spec.area_budget}) {
+    put(key, v);
+  }
+  return key;
+}
+
+std::string cache_key(const est::Process& proc, const est::ModuleSpec& spec) {
+  std::string key = process_key(proc);
+  key += "|module|";
+  key += std::to_string(static_cast<int>(spec.kind));
+  key += ';';
+  key += std::to_string(spec.order);
+  key += ';';
+  for (double v : {spec.gain, spec.bw_hz, spec.f0_hz, spec.delay_s, spec.slew,
+                   spec.area_budget}) {
+    put(key, v);
+  }
+  return key;
+}
+
+std::shared_ptr<const est::OpAmpDesign> EstimateCache::opamp(
+    const est::Process& proc, const est::OpAmpSpec& spec) {
+  return opamps_.get_or_compute(cache_key(proc, spec), [&] {
+    return est::OpAmpEstimator(proc).estimate(spec);
+  });
+}
+
+std::shared_ptr<const est::ModuleDesign> EstimateCache::module(
+    const est::Process& proc, const est::ModuleSpec& spec) {
+  return modules_.get_or_compute(cache_key(proc, spec), [&] {
+    return est::ModuleEstimator(proc).estimate(spec);
+  });
+}
+
+CacheStats EstimateCache::stats() const {
+  CacheStats s = opamps_.stats();
+  s += modules_.stats();
+  return s;
+}
+
+}  // namespace ape::runtime

@@ -1,0 +1,163 @@
+#pragma once
+/// \file cache.h
+/// Shared memoizing estimate cache for the batch runtime (DESIGN.md
+/// section 7).
+///
+/// Batch workloads (spec sweeps, multi-start synthesis, repeated CLI
+/// invocations over overlapping spec files) re-estimate identical
+/// (process, spec) pairs constantly; APE estimates are pure functions of
+/// those inputs, so they memoize safely. MemoCache<Value> provides the
+/// generic single-fill discipline:
+///
+///  - the first thread to request a key computes it (a per-entry mutex
+///    serializes the fill; other requesters of the *same* key block until
+///    the value is ready, requesters of different keys proceed);
+///  - a compute that throws is cached as an error entry and rethrown to
+///    every requester — a spec that is infeasible once is infeasible
+///    forever, so the failure is memoized too (negative caching);
+///  - values are immutable after fill and handed out as
+///    shared_ptr<const Value>, so a hit is safe to hold across the
+///    lifetime of the cache entry and across threads.
+///
+/// EstimateCache bundles the two concrete caches (opamp + module) behind
+/// content-derived keys: the key serializes every electrically relevant
+/// field of the Process (both model cards, supplies, geometry limits) and
+/// the full spec, with hex float formatting so distinct doubles never
+/// collide and equal doubles always match bit-for-bit.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/estimator/modules.h"
+#include "src/estimator/opamp.h"
+#include "src/estimator/process.h"
+
+namespace ape::runtime {
+
+/// Hit/miss counters of one cache (snapshot semantics).
+struct CacheStats {
+  long hits = 0;    ///< requests served from a completed or in-flight fill
+  long misses = 0;  ///< requests that had to compute the value
+
+  double hit_rate() const {
+    const long total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    return *this;
+  }
+};
+
+/// Generic memoizing map with single-fill guarantee (see file comment).
+template <class Value>
+class MemoCache {
+public:
+  /// Return the cached value for \p key, computing it with \p compute on
+  /// first request. Concurrent requests for the same key compute once;
+  /// a throwing compute is memoized and rethrown to all requesters.
+  std::shared_ptr<const Value> get_or_compute(
+      const std::string& key, const std::function<Value()>& compute) {
+    std::shared_ptr<Entry> entry;
+    bool creator = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        entry = std::make_shared<Entry>();
+        // Take the fill lock before the entry becomes visible so every
+        // other requester of this key blocks until the fill completes.
+        entry->fill.lock();
+        map_.emplace(key, entry);
+        creator = true;
+        ++misses_;
+      } else {
+        entry = it->second;
+        ++hits_;
+      }
+    }
+    if (creator) {
+      std::lock_guard<std::mutex> fill(entry->fill, std::adopt_lock);
+      try {
+        entry->value = std::make_shared<const Value>(compute());
+      } catch (...) {
+        entry->error = std::current_exception();
+      }
+    } else {
+      // Block until the creator releases the fill lock (a no-op wait for
+      // entries filled in the past); the lock pairing also orders the
+      // fill's writes before our reads below.
+      std::lock_guard<std::mutex> wait(entry->fill);
+    }
+    if (entry->error) std::rethrow_exception(entry->error);
+    return entry->value;
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {hits_, misses_};
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = misses_ = 0;
+  }
+
+private:
+  struct Entry {
+    /// Held by the creator for exactly the fill window; value/error are
+    /// immutable once it is released.
+    std::mutex fill;
+    std::shared_ptr<const Value> value;
+    std::exception_ptr error;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+/// Content-derived cache keys (process + spec; see file comment).
+std::string cache_key(const est::Process& proc, const est::OpAmpSpec& spec);
+std::string cache_key(const est::Process& proc, const est::ModuleSpec& spec);
+
+/// The shared estimate cache of a batch run: memoized OpAmpEstimator /
+/// ModuleEstimator results keyed on (process, spec).
+class EstimateCache {
+public:
+  /// Memoized est::OpAmpEstimator(proc).estimate(spec). Throws what the
+  /// estimator threw (also on a negative-cache hit).
+  std::shared_ptr<const est::OpAmpDesign> opamp(const est::Process& proc,
+                                                const est::OpAmpSpec& spec);
+
+  /// Memoized est::ModuleEstimator(proc).estimate(spec).
+  std::shared_ptr<const est::ModuleDesign> module(const est::Process& proc,
+                                                  const est::ModuleSpec& spec);
+
+  /// Combined hit/miss counters across both levels.
+  CacheStats stats() const;
+
+  size_t size() const { return opamps_.size() + modules_.size(); }
+
+  void clear() {
+    opamps_.clear();
+    modules_.clear();
+  }
+
+private:
+  MemoCache<est::OpAmpDesign> opamps_;
+  MemoCache<est::ModuleDesign> modules_;
+};
+
+}  // namespace ape::runtime

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
+#include <thread>
 
+#include "src/runtime/executor.h"
 #include "src/spice/analysis.h"
 #include "src/spice/fault.h"
 #include "src/spice/measure.h"
@@ -42,6 +45,90 @@ std::vector<double> box_center(const std::vector<std::pair<double, double>>& b) 
   return x;
 }
 
+/// One restart's search outcome plus its absorbed-failure counter (the
+/// counter is per-restart so parallel restarts never share a mutable).
+struct RestartRun {
+  AnnealResult ar;
+  int skipped = 0;
+};
+
+/// Aggregated multi-start result.
+struct MultiStartResult {
+  AnnealResult best;
+  int best_restart = 0;
+  int restarts_run = 1;
+  int skipped = 0;             ///< summed over restarts
+  int rejected_nonfinite = 0;  ///< summed over restarts
+  int evaluations = 0;         ///< summed over restarts
+  bool budget_exhausted = false;
+};
+
+/// Run opts.restarts independent anneals of the cost produced by
+/// \p make_cost (called once per restart with that restart's skipped
+/// counter) and pick the winner: lowest best_cost, lowest restart index
+/// on ties. Restart 0 anneals with opts.anneal.seed verbatim; restart
+/// r > 0 with the derived stream Rng::derive_stream(seed, r). Every
+/// restart always runs to completion, so the aggregate is bit-identical
+/// whether the restarts execute serially or on a pool of any size.
+MultiStartResult multi_start_anneal(
+    const std::function<std::function<double(const std::vector<double>&)>(
+        int* skipped)>& make_cost,
+    const std::vector<std::pair<double, double>>& bounds,
+    const std::vector<double>& x0, const SynthesisOptions& opts) {
+  const int m = std::max(opts.restarts, 1);
+  std::vector<RestartRun> runs(static_cast<size_t>(m));
+
+  auto run_one = [&](int r) {
+    AnnealOptions ao = opts.anneal;
+    if (r > 0) ao.seed = Rng::derive_stream(opts.anneal.seed, uint64_t(r));
+    RestartRun run;
+    run.ar = anneal(make_cost(&run.skipped), bounds, x0, ao);
+    return run;
+  };
+
+  int threads = opts.restart_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, m);
+
+  if (m == 1 || threads <= 1) {
+    for (int r = 0; r < m; ++r) runs[size_t(r)] = run_one(r);
+  } else {
+    // Worker threads have empty provenance stacks; re-anchor each
+    // restart under the chain open on the calling thread.
+    const std::string parent = ErrorContext::chain();
+    runtime::Executor pool(threads);
+    std::vector<std::future<RestartRun>> futures;
+    futures.reserve(static_cast<size_t>(m));
+    for (int r = 0; r < m; ++r) {
+      futures.push_back(pool.submit([&run_one, &parent, r] {
+        const std::string frame = "restart[" + std::to_string(r) + "]";
+        ErrorContext scope(parent.empty() ? frame : parent + " -> " + frame);
+        return run_one(r);
+      }));
+    }
+    for (int r = 0; r < m; ++r) runs[size_t(r)] = futures[size_t(r)].get();
+  }
+
+  MultiStartResult ms;
+  ms.restarts_run = m;
+  ms.best = runs[0].ar;
+  for (int r = 0; r < m; ++r) {
+    const RestartRun& run = runs[size_t(r)];
+    ms.skipped += run.skipped;
+    ms.rejected_nonfinite += run.ar.rejected_nonfinite;
+    ms.evaluations += run.ar.evaluations;
+    ms.budget_exhausted = ms.budget_exhausted || run.ar.budget_exhausted;
+    if (r > 0 && run.ar.best_cost < ms.best.best_cost) {
+      ms.best = run.ar;
+      ms.best_restart = r;
+    }
+  }
+  return ms;
+}
+
 }  // namespace
 
 SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
@@ -53,8 +140,13 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   std::vector<std::pair<double, double>> bounds;
   std::vector<double> x0;
   if (opts.use_ape_seed) {
-    const OpAmpDesign seed = est::OpAmpEstimator(proc).estimate(spec);
-    x0 = vars_from_design(seed).pack();
+    OpAmpDesign seed_local;
+    const OpAmpDesign* seed = opts.seed_design;
+    if (seed == nullptr) {
+      seed_local = est::OpAmpEstimator(proc).estimate(spec);
+      seed = &seed_local;
+    }
+    x0 = vars_from_design(*seed).pack();
     bounds = seeded_bounds(x0, opts.interval_frac, proc, buffered);
   } else {
     bounds = blind_bounds(proc, buffered);
@@ -64,28 +156,33 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   OpAmpSpec target = spec;
   target.gain *= opts.target_margin;
   target.ugf_hz *= opts.target_margin;
-  int skipped = 0;
-  auto cost_fn = [&](const std::vector<double>& x) {
-    try {
-      if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
-      const OpAmpVars v = OpAmpVars::unpack(x, buffered);
-      return opamp_cost(evaluate_opamp_vars(proc, v, spec.ibias, spec.cload),
-                        target);
-    } catch (const Error&) {
-      // A candidate the estimator cannot evaluate (SpecError on a wild
-      // geometry, numerical failure) is a bad point, not a dead run.
-      ++skipped;
-      return kSkippedCandidateCost;
-    }
+  auto make_cost = [&proc, &spec, target, buffered](int* skipped) {
+    return [&proc, &spec, target, buffered,
+            skipped](const std::vector<double>& x) {
+      try {
+        if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
+        const OpAmpVars v = OpAmpVars::unpack(x, buffered);
+        return opamp_cost(evaluate_opamp_vars(proc, v, spec.ibias, spec.cload),
+                          target);
+      } catch (const Error&) {
+        // A candidate the estimator cannot evaluate (SpecError on a wild
+        // geometry, numerical failure) is a bad point, not a dead run.
+        ++*skipped;
+        return kSkippedCandidateCost;
+      }
+    };
   };
-  const AnnealResult ar = anneal(cost_fn, bounds, x0, opts.anneal);
+  const MultiStartResult ms = multi_start_anneal(make_cost, bounds, x0, opts);
+  const AnnealResult& ar = ms.best;
 
   SynthesisOutcome out;
   out.cost = ar.best_cost;
-  out.skipped_candidates = skipped;
-  out.rejected_nonfinite = ar.rejected_nonfinite;
-  out.budget_exhausted = ar.budget_exhausted;
-  out.evaluations = ar.evaluations;
+  out.skipped_candidates = ms.skipped;
+  out.rejected_nonfinite = ms.rejected_nonfinite;
+  out.budget_exhausted = ms.budget_exhausted;
+  out.evaluations = ms.evaluations;
+  out.restarts_run = ms.restarts_run;
+  out.best_restart = ms.best_restart;
   const OpAmpVars best = OpAmpVars::unpack(ar.best_x, buffered);
   const OpAmpEval ev = evaluate_opamp_vars(proc, best, spec.ibias, spec.cload);
   out.functional = ev.functional;
@@ -419,7 +516,12 @@ ModuleSynthesisOutcome synthesize_module(const Process& proc,
 
   // Structure (topology) comes from the estimator in both modes; blind
   // mode discards its sizing, mirroring ASTRX's fixed-topology premise.
-  const ModuleDesign proto = est::ModuleEstimator(proc).estimate(spec);
+  ModuleDesign proto_local;
+  if (opts.module_proto == nullptr) {
+    proto_local = est::ModuleEstimator(proc).estimate(spec);
+  }
+  const ModuleDesign& proto =
+      opts.module_proto != nullptr ? *opts.module_proto : proto_local;
   const size_t n_amps = distinct_amps(proto);
   const bool buffered = proto.opamps.front().spec.buffer;
   const auto pnames = passive_vars(proto);
@@ -453,27 +555,31 @@ ModuleSynthesisOutcome synthesize_module(const Process& proc,
     x0 = box_center(bounds);
   }
 
-  int skipped = 0;
-  auto cost_fn = [&](const std::vector<double>& x) {
-    try {
-      if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
-      bool functional = false;
-      const ModuleDesign cand = module_from_vars(proc, proto, x, &functional);
-      return module_cost(module_metrics_fast(proc, cand, functional, &skipped),
-                         spec, functional);
-    } catch (const Error&) {
-      ++skipped;
-      return kSkippedCandidateCost;
-    }
+  auto make_cost = [&proc, &proto, &spec](int* skipped) {
+    return [&proc, &proto, &spec, skipped](const std::vector<double>& x) {
+      try {
+        if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
+        bool functional = false;
+        const ModuleDesign cand = module_from_vars(proc, proto, x, &functional);
+        return module_cost(module_metrics_fast(proc, cand, functional, skipped),
+                           spec, functional);
+      } catch (const Error&) {
+        ++*skipped;
+        return kSkippedCandidateCost;
+      }
+    };
   };
-  const AnnealResult ar = anneal(cost_fn, bounds, x0, opts.anneal);
+  const MultiStartResult ms = multi_start_anneal(make_cost, bounds, x0, opts);
+  const AnnealResult& ar = ms.best;
 
   ModuleSynthesisOutcome out;
   out.cost = ar.best_cost;
-  out.skipped_candidates = skipped;
-  out.rejected_nonfinite = ar.rejected_nonfinite;
-  out.budget_exhausted = ar.budget_exhausted;
-  out.evaluations = ar.evaluations;
+  out.skipped_candidates = ms.skipped;
+  out.rejected_nonfinite = ms.rejected_nonfinite;
+  out.budget_exhausted = ms.budget_exhausted;
+  out.evaluations = ms.evaluations;
+  out.restarts_run = ms.restarts_run;
+  out.best_restart = ms.best_restart;
   bool functional = false;
   out.design = module_from_vars(proc, proto, ar.best_x, &functional);
   out.functional = functional;

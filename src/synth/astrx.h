@@ -24,6 +24,28 @@ struct SynthesisOptions {
   /// the simulator, exactly as ASTRX's AWE models did).
   double target_margin = 1.15;
   AnnealOptions anneal;
+
+  /// Independent annealing restarts (multi-start). Restart 0 uses
+  /// anneal.seed unchanged (so restarts = 1 reproduces the single-start
+  /// result exactly); restart r > 0 anneals with the decorrelated stream
+  /// Rng::derive_stream(anneal.seed, r). The best restart is selected by
+  /// lowest cost with the lowest restart index as the fixed tie-break —
+  /// a pure function of the seeds, identical at any thread count.
+  int restarts = 1;
+  /// Worker threads for the restarts: 0 = min(restarts, hardware
+  /// concurrency); 1 forces serial execution on the calling thread.
+  /// Note: a thread_local FaultInjector installed on the calling thread
+  /// is not visible to pool workers (fault tests run serially), and a
+  /// shared anneal.budget makes the outcome scheduling-dependent.
+  int restart_threads = 0;
+
+  /// Optional precomputed APE seed design (used when use_ape_seed is
+  /// true): the batch runtime passes its cache entry here so N jobs with
+  /// the same spec estimate once. Not owned; nullptr = estimate inline.
+  const est::OpAmpDesign* seed_design = nullptr;
+  /// Same for module synthesis: the topology/sizing prototype normally
+  /// produced by ModuleEstimator::estimate. Not owned.
+  const est::ModuleDesign* module_proto = nullptr;
 };
 
 /// Outcome of one opamp synthesis run.
@@ -41,6 +63,8 @@ struct SynthesisOutcome {
   int rejected_nonfinite = 0;    ///< NaN/inf costs rejected by the annealer
   bool budget_exhausted = false; ///< search stopped early on RunBudget expiry
   int evaluations = 0;           ///< cost evaluations actually performed
+  int restarts_run = 1;          ///< anneal restarts executed (multi-start)
+  int best_restart = 0;          ///< index of the winning restart
 };
 
 /// Size a two-stage opamp to \p spec. Blind mode ignores APE entirely;
@@ -63,6 +87,8 @@ struct ModuleSynthesisOutcome {
   int rejected_nonfinite = 0;
   bool budget_exhausted = false;
   int evaluations = 0;
+  int restarts_run = 1;
+  int best_restart = 0;
   // Simulator-verified module metrics (meaning depends on the kind).
   double sim_gain = 0.0;
   double sim_bw_hz = 0.0;

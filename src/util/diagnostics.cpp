@@ -98,12 +98,14 @@ void RunBudget::set_deadline_in(double seconds) {
 void RunBudget::set_max_evaluations(long n) { max_evals_ = n; }
 
 bool RunBudget::charge(long n) {
-  used_ += n;
+  used_.fetch_add(n, std::memory_order_relaxed);
   return !exhausted();
 }
 
 bool RunBudget::exhausted() const {
-  if (max_evals_ >= 0 && used_ >= max_evals_) return true;
+  if (max_evals_ >= 0 && used_.load(std::memory_order_relaxed) >= max_evals_) {
+    return true;
+  }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) return true;
   return false;
 }

@@ -21,7 +21,28 @@
 /// to the "no global mutable state" convention (DESIGN.md section 5),
 /// justified because provenance must cross layers that do not know about
 /// each other, and a thread_local stack keeps it race-free.
+///
+/// THREAD-SAFETY RULE (binding for all estimation / simulation /
+/// synthesis paths, enforced since the batch runtime runs them on pool
+/// threads — see DESIGN.md section 7): any mutable state reachable from
+/// those paths must be (a) owned by the job (locals / value members
+/// passed explicitly), (b) thread_local (this file's ErrorContext stack
+/// and the FaultInjector slot in src/spice/fault.h are the only two
+/// instances), or (c) an explicitly synchronized shared object whose
+/// header documents that property (runtime::MemoCache, RunBudget). A
+/// worker thread starts with *empty* thread_local state: provenance
+/// frames and fault injectors installed on the submitting thread do not
+/// follow a job into the pool — the job must re-open its own scope
+/// (the runtime's batch entry points do this, stamping each job's
+/// index) and, in tests, install its own injector.
+///
+/// RunBudget is in category (c): charge()/exhausted() are safe to call
+/// concurrently from every job of a batch sharing one budget (the
+/// evaluation counter is atomic). Note that a *shared* deadline or cap
+/// makes results depend on scheduling; deterministic runs use per-job
+/// budgets or none (DESIGN.md section 7, "seeding discipline").
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -103,22 +124,40 @@ public:
   void set_max_evaluations(long n);
 
   /// Record \p n units of work. Returns true while within budget.
+  /// Thread-safe: concurrent jobs may charge one shared budget.
   bool charge(long n = 1);
 
   /// True once the deadline passed or the evaluation cap is reached.
   bool exhausted() const;
 
-  long evaluations_used() const { return used_; }
+  long evaluations_used() const { return used_.load(std::memory_order_relaxed); }
   long max_evaluations() const { return max_evals_; }
 
   /// Seconds until the deadline (+inf when none; <= 0 when expired).
   double seconds_left() const;
 
+  // Copyable so factory functions return by value; configuration is
+  // copied and the usage counter snapshot carries over. Copying a budget
+  // that other threads are actively charging is not supported.
+  RunBudget(const RunBudget& o)
+      : deadline_(o.deadline_),
+        has_deadline_(o.has_deadline_),
+        max_evals_(o.max_evals_),
+        used_(o.used_.load(std::memory_order_relaxed)) {}
+  RunBudget& operator=(const RunBudget& o) {
+    deadline_ = o.deadline_;
+    has_deadline_ = o.has_deadline_;
+    max_evals_ = o.max_evals_;
+    used_.store(o.used_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
 private:
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   long max_evals_ = -1;  ///< -1 = uncapped
-  long used_ = 0;
+  std::atomic<long> used_{0};
 };
 
 }  // namespace ape

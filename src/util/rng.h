@@ -5,6 +5,11 @@
 /// A thin facade over std::mt19937_64 so that every stochastic component
 /// takes an explicit, seedable generator — benches and tests stay
 /// reproducible run-to-run.
+///
+/// For parallel work (batch jobs, anneal restarts) a generator is never
+/// shared: each unit of work derives its own decorrelated stream with
+/// derive_stream()/split(), so results are independent of how many
+/// threads execute the batch and bit-identical run-to-run.
 
 #include <cstdint>
 #include <random>
@@ -13,7 +18,31 @@ namespace ape {
 
 class Rng {
 public:
-  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : gen_(seed) {}
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : gen_(seed), seed_(seed) {}
+
+  /// Derive the seed of sub-stream \p stream_id of a generator seeded
+  /// with \p seed: a splitmix64 finalizer over (seed, stream_id), so
+  /// neighbouring stream ids (0, 1, 2, ...) give statistically
+  /// decorrelated, reproducible streams. Pure function of its inputs —
+  /// batch job i and anneal restart r always see the same seed no
+  /// matter which thread runs them.
+  static uint64_t derive_stream(uint64_t seed, uint64_t stream_id) {
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// A fresh generator for sub-stream \p stream_id, derived from this
+  /// generator's original seed (not its current state — splitting is
+  /// insensitive to how many variates were already drawn).
+  Rng split(uint64_t stream_id) const {
+    return Rng(derive_stream(seed_, stream_id));
+  }
+
+  /// The seed this generator was constructed with.
+  uint64_t seed() const { return seed_; }
 
   /// Uniform in [0, 1).
   double uniform() { return dist_(gen_); }
@@ -33,6 +62,7 @@ public:
 
 private:
   std::mt19937_64 gen_;
+  uint64_t seed_;
   std::uniform_real_distribution<double> dist_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
 };

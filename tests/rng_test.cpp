@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 namespace ape {
 namespace {
@@ -63,6 +64,47 @@ TEST(Rng, GaussMomentsAreStandard) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.02);
   EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, DeriveStreamIsPureAndSeedSensitive) {
+  EXPECT_EQ(Rng::derive_stream(42, 0), Rng::derive_stream(42, 0));
+  EXPECT_NE(Rng::derive_stream(42, 0), Rng::derive_stream(42, 1));
+  EXPECT_NE(Rng::derive_stream(42, 0), Rng::derive_stream(43, 0));
+  // Stream 0 must not collapse onto the parent seed itself.
+  EXPECT_NE(Rng::derive_stream(42, 0), 42u);
+}
+
+TEST(Rng, NeighbouringStreamsAreDistinct) {
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 1000; ++s) seeds.insert(Rng::derive_stream(7, s));
+  EXPECT_EQ(seeds.size(), 1000u);  // splitmix64 finalizer: no collisions
+}
+
+TEST(Rng, SplitIsInsensitiveToDrawnState) {
+  Rng parent(123);
+  const Rng early = parent.split(5);
+  for (int i = 0; i < 100; ++i) parent.uniform();  // advance the parent
+  Rng late = parent.split(5);
+  Rng a = early;
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), late.uniform());
+  EXPECT_EQ(parent.seed(), 123u);
+  EXPECT_EQ(a.seed(), Rng::derive_stream(123, 5));
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  // Neighbouring streams agree on essentially no draws and are each
+  // internally uniform.
+  Rng a = Rng(9).split(0), b = Rng(9).split(1);
+  int same = 0;
+  double mean_b = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double ua = a.uniform(), ub = b.uniform();
+    if (ua == ub) ++same;
+    mean_b += ub;
+  }
+  EXPECT_EQ(same, 0);
+  EXPECT_NEAR(mean_b / n, 0.5, 0.02);
 }
 
 }  // namespace
