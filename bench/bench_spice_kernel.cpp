@@ -1,0 +1,294 @@
+/// Micro-benchmark for the compiled MNA kernel (src/spice/kernel.h):
+///
+///  - in-place LU workspaces (factorize/solve_into) vs the old
+///    allocate-a-solver-per-iteration path, over system sizes 4..64;
+///  - serial (re-factorize per RHS) vs batch (one factorization, many
+///    RHS) solve scheduling, the shape the AC/noise sweeps and the AWE
+///    moment recursion use;
+///  - fused G + jwC assembly vs legacy per-point virtual restamping.
+///
+/// After the google-benchmark run, main() re-times the LU shapes with a
+/// steady clock and writes machine-readable BENCH_spice_kernel.json
+/// (ns/op per size plus a KernelStats allocation audit) for the
+/// committed performance trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/spice/analysis.h"
+#include "src/spice/devices.h"
+#include "src/spice/kernel.h"
+#include "src/util/matrix.h"
+
+using namespace ape;
+using namespace ape::spice;
+
+namespace {
+
+/// Deterministic well-conditioned test system: random-ish off-diagonals
+/// from an LCG, diagonally dominant so pivoting stays cheap and no run
+/// ever hits the singularity guard.
+RealMatrix make_system(size_t n, std::vector<double>* rhs) {
+  RealMatrix a(n, n);
+  uint64_t s = 0x9e3779b97f4a7c15ull + n;
+  auto next = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return double((s >> 33) & 0xffff) / 65536.0 - 0.5;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        a(i, j) = next();
+        row += std::fabs(a(i, j));
+      }
+    }
+    a(i, i) = row + 1.0;
+  }
+  if (rhs != nullptr) {
+    rhs->resize(n);
+    for (size_t i = 0; i < n; ++i) (*rhs)[i] = next();
+  }
+  return a;
+}
+
+/// RC ladder with an AC stimulus: pure linear circuit whose AC sweep is
+/// the fused-assembly showcase.
+Circuit make_rc_ladder(int stages) {
+  Circuit ckt("ladder");
+  Waveform w;
+  w.ac_mag = 1.0;
+  ckt.add<VSource>("vin", ckt.node("n0"), kGround, w);
+  for (int i = 0; i < stages; ++i) {
+    const std::string a = "n" + std::to_string(i);
+    const std::string b = "n" + std::to_string(i + 1);
+    ckt.add<Resistor>("r" + std::to_string(i), ckt.node(a), ckt.node(b), 1e3);
+    ckt.add<Capacitor>("c" + std::to_string(i), ckt.node(b), kGround, 1e-9);
+  }
+  return ckt;
+}
+
+}  // namespace
+
+/// Old path: construct a fresh factorization (heap allocation) per solve.
+static void BM_LuSerial_Alloc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_system(n, &b);
+  for (auto _ : state) {
+    LuSolver<double> lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuSerial_Alloc)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Kernel path: one workspace, in-place factorize + solve_into.
+static void BM_LuSerial_Workspace(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_system(n, &b);
+  LuSolver<double> lu;
+  lu.reserve(n);
+  std::vector<double> x(n);
+  for (auto _ : state) {
+    lu.factorize(a);
+    lu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSerial_Workspace)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Serial scheduling: re-factorize for every one of 16 right-hand sides.
+static void BM_LuBatch16_Refactor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_system(n, &b);
+  LuSolver<double> lu;
+  lu.reserve(n);
+  std::vector<double> x(n);
+  for (auto _ : state) {
+    for (int k = 0; k < 16; ++k) {
+      lu.factorize(a);
+      lu.solve_into(b, x);
+      benchmark::DoNotOptimize(x.data());
+    }
+  }
+}
+BENCHMARK(BM_LuBatch16_Refactor)->Arg(4)->Arg(16)->Arg(64);
+
+/// Batch scheduling: factorize once, stream 16 right-hand sides through
+/// solve_into (the noise-analysis / AWE shape).
+static void BM_LuBatch16_Reuse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_system(n, &b);
+  LuSolver<double> lu;
+  lu.reserve(n);
+  std::vector<double> x(n);
+  for (auto _ : state) {
+    lu.factorize(a);
+    for (int k = 0; k < 16; ++k) {
+      lu.solve_into(b, x);
+      benchmark::DoNotOptimize(x.data());
+    }
+  }
+}
+BENCHMARK(BM_LuBatch16_Reuse)->Arg(4)->Arg(16)->Arg(64);
+
+/// Legacy AC point: full virtual restamp + gmin diagonal + fresh solver.
+static void BM_AcPoint_Virtual(benchmark::State& state) {
+  Circuit ckt = make_rc_ladder(10);
+  (void)dc_operating_point(ckt);
+  MnaComplex mna(ckt.dim());
+  double omega = 1e3;
+  for (auto _ : state) {
+    mna.clear();
+    for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, omega);
+    for (size_t i = 0; i < ckt.num_nodes(); ++i) {
+      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), {1e-12, 0.0});
+    }
+    LuSolver<std::complex<double>> lu(mna.matrix());
+    benchmark::DoNotOptimize(lu.solve(mna.rhs()));
+    omega *= 1.001;
+  }
+}
+BENCHMARK(BM_AcPoint_Virtual);
+
+/// Kernel AC point: fused G + jwC fill + in-place factorize/solve.
+static void BM_AcPoint_Fused(benchmark::State& state) {
+  Circuit ckt = make_rc_ladder(10);
+  (void)dc_operating_point(ckt);
+  AcKernel kern(ckt);
+  std::vector<std::complex<double>> x(kern.dim());
+  double omega = 1e3;
+  for (auto _ : state) {
+    kern.assemble(omega);
+    kern.solve_into(x);
+    benchmark::DoNotOptimize(x.data());
+    omega *= 1.001;
+  }
+}
+BENCHMARK(BM_AcPoint_Fused);
+
+// ---------------------------------------------------------------------------
+// Machine-readable trajectory file.
+
+namespace {
+
+double time_ns_per_op(int iters, const std::function<void()>& op) {
+  // One warmup pass, then the best of three timed repetitions.
+  op();
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) op();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+int write_json() {
+  const size_t sizes[] = {4, 8, 16, 32, 64};
+  std::FILE* f = std::fopen("BENCH_spice_kernel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_spice_kernel.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"lu\": [\n");
+  bool first = true;
+  for (size_t n : sizes) {
+    std::vector<double> b;
+    const RealMatrix a = make_system(n, &b);
+    LuSolver<double> ws;
+    ws.reserve(n);
+    std::vector<double> x(n);
+    const int iters = n >= 32 ? 2000 : 20000;
+    const double alloc_ns = time_ns_per_op(iters, [&] {
+      LuSolver<double> lu(a);
+      benchmark::DoNotOptimize(lu.solve(b));
+    });
+    const double workspace_ns = time_ns_per_op(iters, [&] {
+      ws.factorize(a);
+      ws.solve_into(b, x);
+      benchmark::DoNotOptimize(x.data());
+    });
+    const double batch_reuse_ns = time_ns_per_op(iters, [&] {
+      ws.factorize(a);
+      for (int k = 0; k < 16; ++k) {
+        ws.solve_into(b, x);
+        benchmark::DoNotOptimize(x.data());
+      }
+    });
+    const double batch_refactor_ns = time_ns_per_op(iters, [&] {
+      for (int k = 0; k < 16; ++k) {
+        ws.factorize(a);
+        ws.solve_into(b, x);
+        benchmark::DoNotOptimize(x.data());
+      }
+    });
+    std::fprintf(f,
+                 "%s    {\"n\": %zu, \"alloc_ns\": %.1f, \"workspace_ns\": %.1f,"
+                 " \"batch16_reuse_ns\": %.1f, \"batch16_refactor_ns\": %.1f}",
+                 first ? "" : ",\n", n, alloc_ns, workspace_ns, batch_reuse_ns,
+                 batch_refactor_ns);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  // AC assembly comparison + the allocation audit on a real sweep.
+  Circuit ckt = make_rc_ladder(10);
+  (void)dc_operating_point(ckt);
+  KernelStats ks;
+  (void)ac_analysis(ckt, 1.0, 1e6, 40, &ks);
+  AcKernel kern(ckt);
+  std::vector<std::complex<double>> xc(kern.dim());
+  const double fused_ns = time_ns_per_op(5000, [&] {
+    kern.assemble(1e4);
+    kern.solve_into(xc);
+    benchmark::DoNotOptimize(xc.data());
+  });
+  MnaComplex mna(ckt.dim());
+  const double virt_ns = time_ns_per_op(5000, [&] {
+    mna.clear();
+    for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, 1e4);
+    for (size_t i = 0; i < ckt.num_nodes(); ++i) {
+      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), {1e-12, 0.0});
+    }
+    LuSolver<std::complex<double>> lu(mna.matrix());
+    benchmark::DoNotOptimize(lu.solve(mna.rhs()));
+  });
+  std::fprintf(f,
+               "  \"ac_point\": {\"dim\": %zu, \"fused_ns\": %.1f, "
+               "\"virtual_ns\": %.1f},\n",
+               kern.dim(), fused_ns, virt_ns);
+  std::fprintf(f,
+               "  \"ac_sweep_audit\": {\"points_fused\": %ld, "
+               "\"points_virtual\": %ld, \"factorizations\": %ld, "
+               "\"workspace_bytes\": %zu, \"workspace_regrowths\": %ld}\n}\n",
+               ks.ac_points_fused, ks.ac_points_virtual, ks.factorizations,
+               ks.workspace_bytes, ks.workspace_regrowths);
+  std::fclose(f);
+  std::printf("wrote BENCH_spice_kernel.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_json();
+}

@@ -1,0 +1,98 @@
+# Regression gate for the committed performance trajectory.
+#
+# Usage (normally via the `check_bench` target):
+#   cmake -DCURRENT=<fresh BENCH_ape_speed.json> \
+#         -DBASELINE=<committed BENCH_ape_speed.json> \
+#         -P bench/check_bench.cmake
+#
+# Compares the throughput / latency metrics of a fresh bench_ape_speed
+# run against the committed baseline and FATAL_ERRORs when any metric
+# regressed by more than 20%. Improvements and noise inside the band
+# pass. Requires CMake >= 3.19 (string(JSON ...)).
+
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR "check_bench: pass -DCURRENT=<json> and -DBASELINE=<json>")
+endif()
+foreach(f IN ITEMS "${CURRENT}" "${BASELINE}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "check_bench: missing ${f}")
+  endif()
+endforeach()
+
+file(READ "${CURRENT}" cur_json)
+file(READ "${BASELINE}" base_json)
+
+set(tolerance 1.20)  # fail only beyond a 20% regression
+set(failed 0)
+
+# check_metric(<name> <direction>) where direction is HIGHER_IS_BETTER or
+# LOWER_IS_BETTER. Metrics absent from the baseline (older trajectory
+# files) are skipped so the gate stays usable across PR generations.
+function(check_metric name direction)
+  string(JSON base ERROR_VARIABLE base_err GET "${base_json}" ${name})
+  string(JSON cur ERROR_VARIABLE cur_err GET "${cur_json}" ${name})
+  if(base_err OR cur_err)
+    message(STATUS "check_bench: ${name}: skipped (absent)")
+    return()
+  endif()
+  if(base LESS_EQUAL 0)
+    message(STATUS "check_bench: ${name}: skipped (degenerate baseline ${base})")
+    return()
+  endif()
+  if(direction STREQUAL "HIGHER_IS_BETTER")
+    # regression when cur * tolerance < base
+    set(lhs "${cur}")
+    set(rhs "${base}")
+  else()
+    # LOWER_IS_BETTER: regression when cur > base * tolerance
+    set(lhs "${base}")
+    set(rhs "${cur}")
+  endif()
+  # Either way the invariant is rhs <= lhs * tolerance. math(EXPR) is
+  # integer-only, so both values are converted to micro-units and the
+  # 1.2 factor becomes the exact integer comparison 5*rhs > 6*lhs.
+  if(lhs LESS_EQUAL 0)
+    message(STATUS "check_bench: ${name}: skipped (degenerate value ${lhs})")
+    return()
+  endif()
+  string(REGEX REPLACE "[^0-9.]" "" lhs_clean "${lhs}")
+  string(REGEX REPLACE "[^0-9.]" "" rhs_clean "${rhs}")
+  # Convert to integer micro-units (6 decimal places).
+  foreach(v IN ITEMS lhs rhs)
+    set(s "${${v}_clean}")
+    string(FIND "${s}" "." dot)
+    if(dot EQUAL -1)
+      set(int_part "${s}")
+      set(frac_part "000000")
+    else()
+      string(SUBSTRING "${s}" 0 ${dot} int_part)
+      math(EXPR fstart "${dot} + 1")
+      string(SUBSTRING "${s}" ${fstart} -1 frac_part)
+      string(SUBSTRING "${frac_part}000000" 0 6 frac_part)
+    endif()
+    if(int_part STREQUAL "")
+      set(int_part 0)
+    endif()
+    math(EXPR ${v}_u "${int_part} * 1000000 + ${frac_part}")
+  endforeach()
+  # Regression iff rhs > lhs * 1.2  (in micro-units: 5*rhs_u > 6*lhs_u).
+  math(EXPR lhs_scaled "6 * ${lhs_u}")
+  math(EXPR rhs_scaled "5 * ${rhs_u}")
+  if(rhs_scaled GREATER lhs_scaled)
+    message(SEND_ERROR "check_bench: ${name} regressed >20%: baseline=${base} current=${cur}")
+    set(failed 1 PARENT_SCOPE)
+  else()
+    message(STATUS "check_bench: ${name}: ok (baseline=${base} current=${cur})")
+  endif()
+endfunction()
+
+check_metric(serial_jobs_per_second HIGHER_IS_BETTER)
+check_metric(pooled_jobs_per_second HIGHER_IS_BETTER)
+check_metric(estimate_path_us LOWER_IS_BETTER)
+
+if(failed)
+  message(FATAL_ERROR "check_bench: performance regression detected")
+endif()
+message(STATUS "check_bench: all metrics within the 20% band")

@@ -5,6 +5,7 @@
 
 #include "src/spice/devices.h"
 #include "src/spice/fault.h"
+#include "src/spice/kernel.h"
 #include "src/util/matrix.h"
 #include "src/util/units.h"
 
@@ -22,33 +23,32 @@ bool all_finite(const std::vector<double>& v) {
 }
 
 /// One damped Newton solve of the (already finalized) circuit at a fixed
-/// gmin / source scale. Returns true on convergence; x is updated in place.
-/// Counters are accumulated into \p rep when non-null.
-bool newton_dc(Circuit& ckt, Solution& x, double gmin, double src_scale,
-               const DcOptions& opts, ConvergenceReport* rep) {
+/// gmin / source scale, on the caller's compiled workspace. Returns true
+/// on convergence; x is updated in place. Counters are accumulated into
+/// \p rep when non-null.
+bool newton_dc(Circuit& ckt, SolveWorkspace& ws, Solution& x, double gmin,
+               double src_scale, const DcOptions& opts, ConvergenceReport* rep) {
   const size_t dim = ckt.dim();
   const size_t n_nodes = ckt.num_nodes();
   FaultInjector* fi = fault_injector();
-  MnaReal mna(dim);
+  // gmin and src_scale are fixed for the whole call, so the linear part
+  // of the system is too: stamp it once, restore per iteration.
+  ws.build_dc_baseline(gmin, src_scale);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    mna.clear();
-    for (const auto& dev : ckt.devices()) dev->stamp_dc(mna, x, src_scale);
-    for (size_t i = 0; i < n_nodes; ++i) {
-      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), gmin);
-    }
-    if (fi != nullptr) fi->on_assembly(mna);
+    ws.assemble_dc(x, src_scale);
+    if (fi != nullptr) fi->on_assembly(ws.mna());
     if (rep != nullptr) ++rep->newton_iterations;
-    std::vector<double> xnew;
+    const std::vector<double>* solved = nullptr;
     try {
       if (fi != nullptr && fi->on_lu_solve()) {
         throw NumericError("LU: injected singular matrix");
       }
-      LuSolver<double> lu(mna.matrix());
-      xnew = lu.solve(mna.rhs());
+      solved = &ws.solve();
     } catch (const NumericError&) {
       if (rep != nullptr) ++rep->lu_failures;
       return false;
     }
+    const std::vector<double>& xnew = *solved;
     // Fail fast on a non-finite solution: iterating from NaN can never
     // recover, so report non-convergence and let the ladder move on.
     if (!all_finite(xnew)) {
@@ -106,12 +106,13 @@ Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
   *rep = ConvergenceReport{};
   Solution x;
   x.x.assign(ckt.dim(), 0.0);
+  SolveWorkspace ws(ckt);
 
   // Plan A: gmin stepping from a heavily damped system down to ~ideal.
   bool ok = true;
   for (double gmin : opts.gmin_steps) {
     check_budget(opts.budget, "dc_operating_point");
-    if (!newton_dc(ckt, x, gmin, 1.0, opts, rep)) {
+    if (!newton_dc(ckt, ws, x, gmin, 1.0, opts, rep)) {
       ok = false;
       break;
     }
@@ -127,7 +128,7 @@ Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     ok = true;
     for (double s : opts.source_steps) {
       check_budget(opts.budget, "dc_operating_point");
-      if (!newton_dc(ckt, x, 1e-9, s, opts, rep)) {
+      if (!newton_dc(ckt, ws, x, 1e-9, s, opts, rep)) {
         ok = false;
         break;
       }
@@ -136,7 +137,7 @@ Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     if (ok) {
       for (double gmin : opts.gmin_steps) {
         check_budget(opts.budget, "dc_operating_point");
-        if (!newton_dc(ckt, x, gmin, 1.0, opts, rep)) {
+        if (!newton_dc(ckt, ws, x, gmin, 1.0, opts, rep)) {
           ok = false;
           break;
         }
@@ -146,6 +147,7 @@ Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     }
     if (ok) rep->plan = DcPlan::SourceStepping;
   }
+  rep->kernel = ws.stats();
   if (!ok) {
     throw NumericError("dc_operating_point: Newton failed to converge for '" +
                        ckt.title() + "' (" + rep->summary() + ")");
@@ -185,13 +187,19 @@ DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
 
   DcSweepResult res;
   // Full gmin-stepped solve at the first point; subsequent points are a
-  // single warm-started Newton pass at the final gmin.
+  // single warm-started Newton pass at the final gmin on a sweep-wide
+  // compiled workspace.
   vs.wave().dc = start;
   Solution x;
   solve_at(start, x);
   res.values.push_back(start);
   res.solutions.push_back(x);
-  for (double v = start + step; v <= stop + 0.5 * step; v += step) {
+  SolveWorkspace ws(ckt);
+  // Integer point index so the sweep grid has no accumulated FP drift:
+  // point i sits at exactly start + i * step.
+  const long n_steps = static_cast<long>(std::floor((stop - start) / step + 0.5));
+  for (long i = 1; i <= n_steps; ++i) {
+    const double v = start + static_cast<double>(i) * step;
     vs.wave().dc = v;
     if (opts.budget != nullptr && opts.budget->exhausted()) {
       vs.wave().dc = original;
@@ -199,7 +207,7 @@ DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
                          "'): run budget exhausted at sweep value " +
                          units::format_eng(v) + " V");
     }
-    if (!newton_dc(ckt, x, opts.gmin_steps.back(), 1.0, opts, opts.report)) {
+    if (!newton_dc(ckt, ws, x, opts.gmin_steps.back(), 1.0, opts, opts.report)) {
       // Fall back to the full ladder if the warm start fails.
       x.x.assign(ckt.dim(), 0.0);
       solve_at(v, x);
@@ -207,13 +215,14 @@ DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
     res.values.push_back(v);
     res.solutions.push_back(x);
   }
+  if (opts.report != nullptr) opts.report->kernel.accumulate(ws.stats());
   for (const auto& dev : ckt.devices()) dev->save_op(x);
   vs.wave().dc = original;
   return res;
 }
 
 AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
-                     int points_per_decade) {
+                     int points_per_decade, KernelStats* kstats) {
   ErrorContext scope("ac('" + ckt.title() + "')");
   if (!ckt.finalized()) {
     throw Error("ac_analysis: run dc_operating_point first");
@@ -225,20 +234,22 @@ AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
   const double decades = std::log10(f_stop / f_start);
   const int n = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
   const size_t dim = ckt.dim();
-  MnaComplex mna(dim);
+  // Compile G / C / stimulus once; the sweep itself is a fused G + jwC
+  // fill plus an in-place factorization per point — no stamping, no
+  // allocation. The floating-node gmin diagonal and the log-grid ratio
+  // (formerly a pow() per point) are both hoisted out of the loop.
+  AcKernel kern(ckt);
+  out.freq_hz.resize(static_cast<size_t>(n));
+  out.solutions.assign(static_cast<size_t>(n), std::vector<std::complex<double>>(dim));
+  const double ratio = std::pow(10.0, decades / (n - 1));
+  double f = f_start;
   for (int k = 0; k < n; ++k) {
-    const double f = f_start * std::pow(10.0, decades * k / (n - 1));
-    const double omega = 2.0 * M_PI * f;
-    mna.clear();
-    for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, omega);
-    // Tiny diagonal keeps capacitively-floating nodes solvable.
-    for (size_t i = 0; i < ckt.num_nodes(); ++i) {
-      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), {1e-12, 0.0});
-    }
-    LuSolver<std::complex<double>> lu(mna.matrix());
-    out.freq_hz.push_back(f);
-    out.solutions.push_back(lu.solve(mna.rhs()));
+    kern.assemble(2.0 * M_PI * f);
+    kern.solve_into(out.solutions[static_cast<size_t>(k)]);
+    out.freq_hz[static_cast<size_t>(k)] = f;
+    f *= ratio;
   }
+  if (kstats != nullptr) *kstats = kern.stats();
   return out;
 }
 
@@ -258,9 +269,10 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
   out.solutions.push_back(x);
 
   const size_t dim = ckt.dim();
-  const size_t n_nodes = ckt.num_nodes();
   FaultInjector* fi = fault_injector();
-  MnaReal mna(dim);
+  SolveWorkspace ws(ckt);
+  Solution xc;  // Newton candidate, hoisted so the copy-assign below
+                // reuses its capacity (no per-attempt allocation)
 
   double t = 0.0;
   bool first = true;
@@ -277,29 +289,28 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
       }
       dt = std::min(dt, t_target - t);
       TranContext tc{dt, t + dt, first};
-      Solution xc = x;  // start Newton from previous accepted point
+      xc = x;  // start Newton from previous accepted point
       bool converged = false;
       const bool vetoed = fi != nullptr && fi->on_transient_step();
       if (vetoed) ++rep->convergence_vetoes;
+      // dt, time and the integrator state are fixed for the whole solve
+      // attempt, so the linear companion stamps are too.
+      if (!vetoed) ws.build_tran_baseline(tc);
       for (int iter = 0; !vetoed && iter < opts.max_iterations; ++iter) {
-        mna.clear();
-        for (const auto& dev : ckt.devices()) dev->stamp_tran(mna, xc, tc);
-        for (size_t i = 0; i < n_nodes; ++i) {
-          mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), 1e-12);
-        }
-        if (fi != nullptr) fi->on_assembly(mna);
+        ws.assemble_tran(xc, tc);
+        if (fi != nullptr) fi->on_assembly(ws.mna());
         ++rep->newton_iterations;
-        std::vector<double> xnew;
+        const std::vector<double>* solved = nullptr;
         try {
           if (fi != nullptr && fi->on_lu_solve()) {
             throw NumericError("LU: injected singular matrix");
           }
-          LuSolver<double> lu(mna.matrix());
-          xnew = lu.solve(mna.rhs());
+          solved = &ws.solve();
         } catch (const NumericError&) {
           ++rep->lu_failures;
           break;
         }
+        const std::vector<double>& xnew = *solved;
         // Fail fast on non-finite solutions (poisoned stamp, blow-up):
         // halving dt is the only move with a chance of recovering.
         if (!all_finite(xnew)) {
@@ -319,7 +330,7 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
       }
       if (converged) {
         for (const auto& dev : ckt.devices()) dev->accept_tran_step(xc, tc);
-        x = std::move(xc);
+        x.x.swap(xc.x);  // keep xc's buffer alive for the next attempt
         t += dt;
         first = false;
         continue;
@@ -335,6 +346,7 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
     out.time_s.push_back(t);
     out.solutions.push_back(x);
   }
+  rep->kernel.accumulate(ws.stats());
   rep->converged = true;
   return out;
 }

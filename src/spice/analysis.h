@@ -82,9 +82,11 @@ struct AcResult {
 };
 
 /// Logarithmic AC sweep. Requires a previous dc_operating_point() so the
-/// devices have cached small-signal parameters.
+/// devices have cached small-signal parameters. When \p kstats is set it
+/// receives the compiled AC kernel's counters for the sweep (fused vs
+/// virtual points, factorizations, workspace footprint).
 AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
-                     int points_per_decade = 20);
+                     int points_per_decade = 20, KernelStats* kstats = nullptr);
 
 // ---------------------------------------------------------------------------
 

@@ -74,6 +74,13 @@ void Circuit::finalize() {
   if (finalized_) return;
   size_t next = node_names_.size();
   for (auto& d : devices_) d->claim_branches(next);
+  // Split into the compiled kernel's stamp lists, preserving device order
+  // within each class so stamping stays deterministic.
+  linear_devices_.clear();
+  nonlinear_devices_.clear();
+  for (auto& d : devices_) {
+    (d->is_nonlinear() ? nonlinear_devices_ : linear_devices_).push_back(d.get());
+  }
   mna_dim_ = next;
   finalized_ = true;
 }

@@ -69,8 +69,19 @@ public:
 
   const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
 
-  /// Resolve branch indices and fix the MNA dimension. Called implicitly
-  /// by the analyses; calling add() afterwards throws.
+  /// Devices whose stamps are independent of the candidate solution
+  /// (R, C, L, sources, controlled sources), in device order. Valid after
+  /// finalize(); stamped once per baseline by the compiled kernel
+  /// (src/spice/kernel.h) instead of once per Newton iteration.
+  const std::vector<Device*>& linear_devices() const { return linear_devices_; }
+
+  /// Devices restamped every Newton iteration (MOSFETs, diodes), in
+  /// device order. Valid after finalize().
+  const std::vector<Device*>& nonlinear_devices() const { return nonlinear_devices_; }
+
+  /// Resolve branch indices, split devices into linear / nonlinear stamp
+  /// lists and fix the MNA dimension. Called implicitly by the analyses;
+  /// calling add() afterwards throws.
   void finalize();
   bool finalized() const { return finalized_; }
 
@@ -87,6 +98,8 @@ private:
   std::map<std::string, NodeId> node_ids_;
   std::map<std::string, MosModelCard> models_;
   std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Device*> linear_devices_;
+  std::vector<Device*> nonlinear_devices_;
   size_t mna_dim_ = 0;
   bool finalized_ = false;
 };

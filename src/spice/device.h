@@ -49,7 +49,9 @@ public:
   }
 
   RealMatrix& matrix() { return g_; }
+  const RealMatrix& matrix() const { return g_; }
   std::vector<double>& rhs() { return rhs_; }
+  const std::vector<double>& rhs() const { return rhs_; }
 
 private:
   RealMatrix g_;
@@ -76,7 +78,9 @@ public:
   }
 
   ComplexMatrix& matrix() { return g_; }
+  const ComplexMatrix& matrix() const { return g_; }
   std::vector<std::complex<double>>& rhs() { return rhs_; }
+  const std::vector<std::complex<double>>& rhs() const { return rhs_; }
 
 private:
   ComplexMatrix g_;
@@ -115,6 +119,12 @@ public:
 
   /// Claim branch rows; \p next_branch is the next free MNA index.
   virtual void claim_branches(size_t& next_branch) { (void)next_branch; }
+
+  /// True when stamp_dc / stamp_tran depend on the candidate solution x
+  /// (MOSFETs, diodes). Linear devices are stamped once into the compiled
+  /// baseline (src/spice/kernel.h) and skipped on every subsequent Newton
+  /// iteration; nonlinear devices are restamped each iteration.
+  virtual bool is_nonlinear() const { return false; }
 
   /// Stamp the linearized (companion) model around candidate solution \p x
   /// for a DC Newton iteration. \p src_scale scales independent sources

@@ -207,6 +207,7 @@ class Diode : public Device {
 public:
   Diode(std::string name, NodeId p, NodeId n, double is = 1e-14, double n_emission = 1.0);
 
+  bool is_nonlinear() const override { return true; }
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void save_op(const Solution& x) override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
@@ -226,6 +227,7 @@ public:
          const MosModelCard* model, double w, double l, double ad = 0.0,
          double as = 0.0, double pd = 0.0, double ps = 0.0);
 
+  bool is_nonlinear() const override { return true; }
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void save_op(const Solution& x) override;
   void stamp_ac(MnaComplex& mna, double omega) const override;

@@ -1,0 +1,184 @@
+#include "src/spice/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace ape::spice {
+
+// ---------------------------------------------------------------------------
+// SolveWorkspace
+
+SolveWorkspace::SolveWorkspace(Circuit& ckt)
+    : ckt_(&ckt),
+      dim_((ckt.finalize(), ckt.dim())),
+      n_nodes_(ckt.num_nodes()),
+      mna_(dim_),
+      base_(dim_) {
+  lu_.reserve(dim_);
+  xnew_.assign(dim_, 0.0);
+  zero_x_.x.assign(dim_, 0.0);
+  setup_bytes_ = measured_bytes();
+  stats_.workspace_bytes = setup_bytes_;
+}
+
+void SolveWorkspace::build_dc_baseline(double gmin, double src_scale) {
+  base_.clear();
+  for (const Device* d : ckt_->linear_devices()) d->stamp_dc(base_, zero_x_, src_scale);
+  for (size_t i = 0; i < n_nodes_; ++i) {
+    base_.add(static_cast<NodeId>(i), static_cast<NodeId>(i), gmin);
+  }
+  ++stats_.baseline_builds;
+}
+
+void SolveWorkspace::build_tran_baseline(const TranContext& tc) {
+  base_.clear();
+  for (const Device* d : ckt_->linear_devices()) d->stamp_tran(base_, zero_x_, tc);
+  for (size_t i = 0; i < n_nodes_; ++i) {
+    base_.add(static_cast<NodeId>(i), static_cast<NodeId>(i), kFloatingNodeGmin);
+  }
+  ++stats_.baseline_builds;
+}
+
+void SolveWorkspace::restore_baseline() {
+  std::copy_n(base_.matrix().data(), base_.matrix().size(), mna_.matrix().data());
+  std::copy(base_.rhs().begin(), base_.rhs().end(), mna_.rhs().begin());
+  ++stats_.baseline_restores;
+  stats_.linear_stamps_skipped += static_cast<long>(ckt_->linear_devices().size());
+}
+
+void SolveWorkspace::assemble_dc(const Solution& x, double src_scale) {
+  restore_baseline();
+  for (const Device* d : ckt_->nonlinear_devices()) d->stamp_dc(mna_, x, src_scale);
+  stats_.nonlinear_stamps += static_cast<long>(ckt_->nonlinear_devices().size());
+}
+
+void SolveWorkspace::assemble_tran(const Solution& x, const TranContext& tc) {
+  restore_baseline();
+  for (const Device* d : ckt_->nonlinear_devices()) d->stamp_tran(mna_, x, tc);
+  stats_.nonlinear_stamps += static_cast<long>(ckt_->nonlinear_devices().size());
+}
+
+const std::vector<double>& SolveWorkspace::solve() {
+  lu_.factorize(mna_.matrix());
+  ++stats_.factorizations;
+  lu_.solve_into(mna_.rhs(), xnew_);
+  ++stats_.solves;
+  return xnew_;
+}
+
+size_t SolveWorkspace::measured_bytes() const {
+  const size_t d = sizeof(double);
+  return (mna_.matrix().size() + base_.matrix().size() + lu_.size() * lu_.size()) * d +
+         (mna_.rhs().size() + base_.rhs().size() + xnew_.size() + zero_x_.x.size()) * d +
+         lu_.size() * sizeof(size_t);
+}
+
+const KernelStats& SolveWorkspace::stats() {
+  const size_t now = measured_bytes();
+  if (now != setup_bytes_) {
+    ++stats_.workspace_regrowths;
+    setup_bytes_ = now;
+  }
+  stats_.workspace_bytes = now;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// AcKernel
+
+AcKernel::AcKernel(Circuit& ckt) : ckt_(&ckt), dim_((ckt.finalize(), ckt.dim())), mna_(dim_) {
+  lu_.reserve(dim_);
+  g_.assign(dim_ * dim_, 0.0);
+  c_.assign(dim_ * dim_, 0.0);
+
+  // Every shipped device's small-signal stamp is affine in w:
+  //   A(w) = G + jwC with real G, C and a w-independent stimulus.
+  // One stamp pass at w = 1 therefore yields G = Re(A), C = Im(A).
+  stamp_virtual(1.0);
+  const std::complex<double>* a = mna_.matrix().data();
+  for (size_t i = 0; i < g_.size(); ++i) {
+    g_[i] = a[i].real();
+    c_[i] = a[i].imag();
+  }
+  rhs0_ = mna_.rhs();
+
+  // Validate the split with a probe at w = 2. Doubling is exact in binary
+  // floating point, so a conforming device matches bit-for-bit; the small
+  // relative tolerance only buys headroom for a future device whose stamp
+  // is affine up to rounding. Anything worse (w^2 terms, tables, ...)
+  // disables the fused path in favor of per-point virtual stamping.
+  stamp_virtual(2.0);
+  const double scale = std::max(1.0, mna_.matrix().max_abs());
+  const double tol = 1e-9 * scale;
+  for (size_t i = 0; i < g_.size() && exact_split_; ++i) {
+    const std::complex<double> predicted(g_[i], 2.0 * c_[i]);
+    if (std::abs(a[i] - predicted) > tol) exact_split_ = false;
+  }
+  for (size_t i = 0; i < rhs0_.size() && exact_split_; ++i) {
+    if (std::abs(mna_.rhs()[i] - rhs0_[i]) > tol) exact_split_ = false;
+  }
+
+  setup_bytes_ = measured_bytes();
+  stats_.workspace_bytes = setup_bytes_;
+}
+
+void AcKernel::stamp_virtual(double omega) {
+  mna_.clear();
+  for (const auto& d : ckt_->devices()) d->stamp_ac(mna_, omega);
+  // Tiny conductance to ground so capacitively floating nodes stay solvable.
+  for (size_t i = 0; i < ckt_->num_nodes(); ++i) {
+    mna_.add(static_cast<NodeId>(i), static_cast<NodeId>(i), kFloatingNodeGmin);
+  }
+}
+
+void AcKernel::assemble(double omega) {
+  if (exact_split_) {
+    std::complex<double>* a = mna_.matrix().data();
+    for (size_t i = 0; i < g_.size(); ++i) {
+      a[i] = std::complex<double>(g_[i], omega * c_[i]);
+    }
+    std::copy(rhs0_.begin(), rhs0_.end(), mna_.rhs().begin());
+    ++stats_.ac_points_fused;
+  } else {
+    stamp_virtual(omega);
+    ++stats_.ac_points_virtual;
+  }
+}
+
+void AcKernel::factorize() {
+  lu_.factorize(mna_.matrix());
+  ++stats_.factorizations;
+}
+
+void AcKernel::solve_into(std::vector<std::complex<double>>& out) {
+  factorize();
+  lu_.solve_into(mna_.rhs(), out);
+  ++stats_.solves;
+}
+
+void AcKernel::solve_rhs(const std::vector<std::complex<double>>& rhs,
+                         std::vector<std::complex<double>>& out) {
+  lu_.solve_into(rhs, out);
+  ++stats_.solves;
+}
+
+size_t AcKernel::measured_bytes() const {
+  const size_t z = sizeof(std::complex<double>);
+  return (g_.size() + c_.size()) * sizeof(double) +
+         (rhs0_.size() + mna_.rhs().size()) * z +
+         (mna_.matrix().size() + lu_.size() * lu_.size()) * z + lu_.size() * sizeof(size_t);
+}
+
+const KernelStats& AcKernel::stats() {
+  const size_t now = measured_bytes();
+  if (now != setup_bytes_) {
+    ++stats_.workspace_regrowths;
+    setup_bytes_ = now;
+  }
+  stats_.workspace_bytes = now;
+  return stats_;
+}
+
+}  // namespace ape::spice

@@ -1,0 +1,170 @@
+#pragma once
+/// \file kernel.h
+/// Compiled-stamp MNA kernel: allocation-free solver workspaces and
+/// linear-baseline reuse for the DC / transient Newton loops, plus fused
+/// G + jwC assembly for AC sweeps.
+///
+/// The analyses in analysis.cpp used to restamp *every* device through
+/// virtual dispatch on every Newton iteration, heap-allocate a fresh
+/// LuSolver and solution vector per solve, and rebuild the full complex
+/// MNA per AC frequency point. This layer compiles a finalized Circuit
+/// into flat stamp programs instead:
+///
+/// - SolveWorkspace (real systems, DC + transient): stamps the linear
+///   devices (Circuit::linear_devices()) plus the gmin diagonal once into
+///   a baseline (G0, RHS0), then each Newton iteration memcpy-restores
+///   the baseline and restamps only the nonlinear devices
+///   (Circuit::nonlinear_devices(): MOSFETs, diodes). The MNA matrix,
+///   RHS, LU storage, pivot array and solution buffer are all owned by
+///   the workspace, so a whole analysis performs zero heap allocations
+///   after setup (KernelStats::workspace_regrowths stays 0).
+/// - AcKernel (complex systems): assembles real G and C matrices once per
+///   operating point from one virtual stamp pass, then forms G + jwC per
+///   frequency with a fused loop over the flat storage. The split is
+///   validated at compile time against a second stamp pass (every
+///   shipped device is affine in w: A(w) = G + jwC); if a future device
+///   ever breaks that contract the kernel falls back to per-point
+///   virtual stamping and counts it in KernelStats::ac_points_virtual.
+///
+/// Ownership / thread-safety: a workspace borrows the Circuit it was
+/// compiled from and is valid for one analysis call on one thread; it
+/// holds no state that outlives the call. Under the batch runtime each
+/// runtime::Executor job runs its analyses on its own Circuit and
+/// therefore owns its own workspaces — workspaces are never shared or
+/// cached across jobs (see the THREAD-SAFETY RULE in
+/// src/util/diagnostics.h and DESIGN.md section 8).
+
+#include <complex>
+#include <vector>
+
+#include "src/spice/circuit.h"
+#include "src/util/diagnostics.h"
+#include "src/util/matrix.h"
+
+namespace ape::spice {
+
+/// Reusable real-MNA solve workspace with a compiled linear baseline.
+///
+/// Usage per Newton ladder rung (DC) or per transient step attempt:
+///   ws.build_dc_baseline(gmin, src_scale);       // linear stamps, once
+///   for each Newton iteration:
+///     ws.assemble_dc(x, src_scale);              // restore + nonlinear
+///     ... fault probes on ws.mna() ...
+///     const auto& xnew = ws.solve();             // in-place LU
+class SolveWorkspace {
+public:
+  /// Compile against a finalized circuit (finalizes it if needed).
+  explicit SolveWorkspace(Circuit& ckt);
+
+  /// Stamp the linear baseline for DC Newton at (gmin, src_scale):
+  /// linear device stamps plus \p gmin on every node-row diagonal.
+  void build_dc_baseline(double gmin, double src_scale);
+
+  /// Stamp the linear baseline for one transient solve attempt at \p tc
+  /// (fixed dt / time / integrator state) plus the floating-node gmin
+  /// diagonal. Valid until the step is accepted or dt changes.
+  void build_tran_baseline(const TranContext& tc);
+
+  /// Restore the baseline (memcpy) and restamp the nonlinear devices
+  /// linearized around candidate \p x for a DC iteration.
+  void assemble_dc(const Solution& x, double src_scale);
+
+  /// Restore the baseline and restamp the nonlinear devices for a
+  /// transient iteration at candidate \p x.
+  void assemble_tran(const Solution& x, const TranContext& tc);
+
+  /// Factorize the assembled system in place and solve into the owned
+  /// solution buffer (returned by reference, valid until the next call).
+  /// Throws NumericError on a singular system.
+  const std::vector<double>& solve();
+
+  /// The assembled system (for fault-injection probes).
+  MnaReal& mna() { return mna_; }
+
+  /// Counters accumulated since construction; callers snapshot this into
+  /// ConvergenceReport::kernel. Reading refreshes the allocation audit
+  /// (workspace_bytes / workspace_regrowths).
+  const KernelStats& stats();
+
+private:
+  /// The gmin diagonal every transient / AC system gets so capacitively
+  /// floating nodes stay solvable (hoisted constant; previously repeated
+  /// inline at each assembly site).
+  static constexpr double kFloatingNodeGmin = 1e-12;
+
+  void restore_baseline();
+  size_t measured_bytes() const;
+
+  Circuit* ckt_;
+  size_t dim_;
+  size_t n_nodes_;
+  MnaReal mna_;                    ///< assembled system
+  MnaReal base_;                   ///< compiled linear baseline (G0, RHS0)
+  LuSolver<double> lu_;            ///< in-place factorization storage
+  std::vector<double> xnew_;       ///< solution buffer
+  Solution zero_x_;                ///< dummy operating point for linear stamps
+  KernelStats stats_;
+  size_t setup_bytes_ = 0;         ///< workspace footprint right after setup
+};
+
+// ---------------------------------------------------------------------------
+
+/// Compiled complex-MNA kernel for AC sweeps: A(w) = G + jwC formed per
+/// frequency with a fused loop over flat real G / C arrays compiled once
+/// per operating point.
+class AcKernel {
+public:
+  /// Compile G, C and the (w-independent) stimulus from the circuit's
+  /// small-signal stamps at the cached operating point. Requires a
+  /// finalized circuit (a prior dc_operating_point()).
+  explicit AcKernel(Circuit& ckt);
+
+  /// Assemble A(omega) into the owned complex system. Uses the fused
+  /// G + jwC path when the compile-time split validated, else falls back
+  /// to per-device virtual stamping.
+  void assemble(double omega);
+
+  /// Factorize the assembled system in place and solve into \p out
+  /// (resized to dim(); allocation-free when already that size).
+  /// Throws NumericError on a singular system.
+  void solve_into(std::vector<std::complex<double>>& out);
+
+  /// The assembled system (for reuse of the factorization, e.g. the
+  /// noise analysis solving many right-hand sides per frequency).
+  MnaComplex& mna() { return mna_; }
+
+  /// Solve against an explicit RHS using the factorization of the last
+  /// solve_into()/factorize() call. \p rhs and \p out must not alias.
+  void solve_rhs(const std::vector<std::complex<double>>& rhs,
+                 std::vector<std::complex<double>>& out);
+
+  /// Factorize the currently assembled system without solving.
+  void factorize();
+
+  size_t dim() const { return dim_; }
+
+  /// False when a device's stamps were not affine in w and the kernel
+  /// reverted to per-point virtual stamping.
+  bool exact_split() const { return exact_split_; }
+
+  const KernelStats& stats();
+
+private:
+  static constexpr double kFloatingNodeGmin = 1e-12;
+
+  void stamp_virtual(double omega);
+  size_t measured_bytes() const;
+
+  Circuit* ckt_;
+  size_t dim_;
+  std::vector<double> g_;          ///< flat row-major Re part (w-independent)
+  std::vector<double> c_;          ///< flat row-major dA/d(jw)
+  std::vector<std::complex<double>> rhs0_;  ///< w-independent stimulus
+  MnaComplex mna_;
+  LuSolver<std::complex<double>> lu_;
+  bool exact_split_ = true;
+  KernelStats stats_;
+  size_t setup_bytes_ = 0;
+};
+
+}  // namespace ape::spice

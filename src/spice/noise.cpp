@@ -4,6 +4,7 @@
 #include <complex>
 
 #include "src/spice/devices.h"
+#include "src/spice/kernel.h"
 #include "src/util/error.h"
 #include "src/util/matrix.h"
 
@@ -50,21 +51,22 @@ NoiseResult noise_analysis(Circuit& ckt, const std::string& out_node,
   NoiseResult res;
   const double decades = std::log10(f_stop / f_start);
   const int n = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
-  MnaComplex mna(dim);
+  // Compiled kernel: fused G + jwC assembly per point, one in-place
+  // factorization reused for the stimulus solve plus one solve per
+  // noise source. All buffers live for the whole sweep.
+  AcKernel kern(ckt);
+  std::vector<std::complex<double>> rhs(dim, {0.0, 0.0});
+  std::vector<std::complex<double>> x(dim);
+  const double ratio = std::pow(10.0, decades / (n - 1));
+  double f = f_start;
   for (int k = 0; k < n; ++k) {
-    const double f = f_start * std::pow(10.0, decades * k / (n - 1));
-    const double omega = 2.0 * M_PI * f;
-    mna.clear();
-    for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, omega);
-    for (size_t i = 0; i < ckt.num_nodes(); ++i) {
-      mna.add(static_cast<NodeId>(i), static_cast<NodeId>(i), {1e-12, 0.0});
-    }
-    LuSolver<std::complex<double>> lu(mna.matrix());
+    kern.assemble(2.0 * M_PI * f);
+    kern.factorize();
 
     // Signal transfer (for input referral): the circuit's own AC stimulus.
     double h2 = 0.0;
     if (input != nullptr) {
-      const auto x = lu.solve(mna.rhs());
+      kern.solve_rhs(kern.mna().rhs(), x);
       const std::complex<double> h =
           out == kGround ? 0.0 : x[static_cast<size_t>(out)];
       h2 = std::norm(h);
@@ -72,11 +74,10 @@ NoiseResult noise_analysis(Circuit& ckt, const std::string& out_node,
 
     // One solve per noise source: unit current injected p -> n.
     double psd_out = 0.0;
-    std::vector<std::complex<double>> rhs(dim, {0.0, 0.0});
     for (const auto& src : sources) {
       if (src.p != kGround) rhs[static_cast<size_t>(src.p)] = {1.0, 0.0};
       if (src.n != kGround) rhs[static_cast<size_t>(src.n)] = {-1.0, 0.0};
-      const auto x = lu.solve(rhs);
+      kern.solve_rhs(rhs, x);
       if (src.p != kGround) rhs[static_cast<size_t>(src.p)] = {0.0, 0.0};
       if (src.n != kGround) rhs[static_cast<size_t>(src.n)] = {0.0, 0.0};
       const double gain2 = std::norm(x[static_cast<size_t>(out)]);
@@ -86,6 +87,7 @@ NoiseResult noise_analysis(Circuit& ckt, const std::string& out_node,
     res.freq_hz.push_back(f);
     res.out_v2.push_back(psd_out);
     res.in_v2.push_back(h2 > 0.0 ? psd_out / h2 : 0.0);
+    f *= ratio;
   }
   return res;
 }

@@ -106,21 +106,23 @@ AweModel awe_reduce(
     for (size_t j = 0; j < dim; ++j) c(i, j) = mna.matrix()(i, j).imag();
   }
 
-  // Moment recursion: one LU factorization, 2q solves.
+  // Moment recursion: one LU factorization, 2q in-place solves. Only the
+  // latest moment vector is needed, so two reused buffers replace the
+  // old per-order allocations (the recursion only ever reads m_cur).
   LuSolver<double> lu(g);
-  std::vector<std::vector<double>> m;
-  m.push_back(lu.solve(b));
+  std::vector<double> m_cur(dim), mrhs(dim);
+  lu.solve_into(b, m_cur);
   std::vector<double> mu;
-  mu.push_back(m.back()[static_cast<size_t>(out)]);
+  mu.reserve(static_cast<size_t>(2 * q));
+  mu.push_back(m_cur[static_cast<size_t>(out)]);
   for (int k = 1; k < 2 * q; ++k) {
-    std::vector<double> rhs(dim, 0.0);
     for (size_t i = 0; i < dim; ++i) {
       double acc = 0.0;
-      for (size_t j = 0; j < dim; ++j) acc += c(i, j) * m.back()[j];
-      rhs[i] = -acc;
+      for (size_t j = 0; j < dim; ++j) acc += c(i, j) * m_cur[j];
+      mrhs[i] = -acc;
     }
-    m.push_back(lu.solve(rhs));
-    mu.push_back(m.back()[static_cast<size_t>(out)]);
+    lu.solve_into(mrhs, m_cur);
+    mu.push_back(m_cur[static_cast<size_t>(out)]);
   }
 
   // Scale the moment series (moments grow like 1/|p_dom|^k) to keep the

@@ -1,5 +1,6 @@
 #include "src/util/diagnostics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -50,6 +51,33 @@ std::string ErrorContext::chain() {
 size_t ErrorContext::depth() { return context_stack().size(); }
 
 // ---------------------------------------------------------------------------
+
+void KernelStats::accumulate(const KernelStats& o) {
+  baseline_builds += o.baseline_builds;
+  baseline_restores += o.baseline_restores;
+  linear_stamps_skipped += o.linear_stamps_skipped;
+  nonlinear_stamps += o.nonlinear_stamps;
+  factorizations += o.factorizations;
+  solves += o.solves;
+  ac_points_fused += o.ac_points_fused;
+  ac_points_virtual += o.ac_points_virtual;
+  workspace_bytes = std::max(workspace_bytes, o.workspace_bytes);
+  workspace_regrowths += o.workspace_regrowths;
+}
+
+std::string KernelStats::summary() const {
+  std::ostringstream os;
+  os << "kernel: baselines=" << baseline_builds
+     << " restores=" << baseline_restores
+     << " stamps_skipped=" << linear_stamps_skipped
+     << " nonlinear_stamps=" << nonlinear_stamps
+     << " factorizations=" << factorizations << " solves=" << solves;
+  if (ac_points_fused > 0) os << " ac_fused=" << ac_points_fused;
+  if (ac_points_virtual > 0) os << " ac_virtual=" << ac_points_virtual;
+  os << " workspace_bytes=" << workspace_bytes
+     << " regrowths=" << workspace_regrowths;
+  return os.str();
+}
 
 const char* to_string(DcPlan plan) {
   switch (plan) {

@@ -77,6 +77,35 @@ public:
 
 // ---------------------------------------------------------------------------
 
+/// Counters from the compiled MNA kernel (src/spice/kernel.h): how much
+/// work the stamp-program/workspace machinery avoided relative to the
+/// naive restamp-everything-and-reallocate path, plus the workspace
+/// footprint. Accumulated per analysis call and surfaced through
+/// ConvergenceReport (DC/transient) or directly (AC), then aggregated by
+/// bench_ape_speed / bench_spice_kernel into the BENCH_*.json records.
+struct KernelStats {
+  long baseline_builds = 0;      ///< linear (G0, RHS0) baselines stamped
+  long baseline_restores = 0;    ///< memcpy restorations of a baseline
+  long linear_stamps_skipped = 0;///< per-device restamps avoided by restores
+  long nonlinear_stamps = 0;     ///< per-iteration nonlinear device restamps
+  long factorizations = 0;       ///< in-place LU factorizations
+  long solves = 0;               ///< forward/back substitution passes
+  long ac_points_fused = 0;      ///< AC points assembled as fused G + jwC
+  long ac_points_virtual = 0;    ///< AC points via per-device virtual stamps
+                                 ///< (fallback for non-affine-in-w devices)
+  size_t workspace_bytes = 0;    ///< bytes of preallocated solver workspace
+  long workspace_regrowths = 0;  ///< times a workspace buffer grew after
+                                 ///< setup (0 == allocation-free inner loops)
+
+  /// Merge counters from another analysis (max of workspace footprints).
+  void accumulate(const KernelStats& o);
+
+  /// One-line human-readable summary for logs / bench output.
+  std::string summary() const;
+};
+
+// ---------------------------------------------------------------------------
+
 /// Which plan finally converged a DC operating-point solve.
 enum class DcPlan {
   None,            ///< no solve recorded / nothing converged
@@ -99,6 +128,9 @@ struct ConvergenceReport {
   int nonfinite_rejections = 0;     ///< fail-fast aborts on non-finite solutions
   int step_halvings = 0;            ///< transient local dt refinements
   int convergence_vetoes = 0;       ///< injected non-convergence (tests only)
+  /// Compiled-kernel counters for the call (stamps skipped, in-place
+  /// factorizations, workspace bytes); see KernelStats.
+  KernelStats kernel;
 
   /// One-line human-readable summary for logs / error messages.
   std::string summary() const;

@@ -38,6 +38,13 @@ public:
   /// Reset every entry to zero, keeping the shape.
   void set_zero() { data_.assign(data_.size(), T{}); }
 
+  /// Raw row-major storage (rows() * cols() entries). The compiled MNA
+  /// kernel uses this for baseline memcpy-restores and fused G + jwC
+  /// assembly without per-entry index arithmetic.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
   /// Largest absolute entry; used for scaling singularity checks.
   double max_abs() const {
     double m = 0.0;
@@ -55,21 +62,56 @@ private:
 ///
 /// Factorizes once, then solves repeatedly — the AC sweep and the AWE
 /// moment recursion both reuse a factorization for many right-hand sides.
+/// A default-constructed solver can be re-targeted with factorize(),
+/// which reuses the solver's own storage: after the first call no
+/// further heap allocation happens for same-sized systems, which is what
+/// lets a whole Newton ladder or AC sweep run allocation-free
+/// (src/spice/kernel.h).
 template <typename T>
 class LuSolver {
 public:
+  /// Empty solver; call factorize() before solving.
+  LuSolver() = default;
+
   /// Factorize \p a (copied). Throws NumericError on (numerical) singularity.
   explicit LuSolver(Matrix<T> a) : lu_(std::move(a)), pivot_(lu_.rows()) {
     if (lu_.rows() != lu_.cols()) throw NumericError("LU: matrix not square");
-    factorize();
+    factorize_impl();
+  }
+
+  /// Pre-size the factorization storage for n-by-n systems so the first
+  /// factorize() performs no allocation. The solver is unusable until a
+  /// factorize() call succeeds.
+  void reserve(size_t n) {
+    if (lu_.rows() != n || lu_.cols() != n) lu_ = Matrix<T>(n, n);
+    pivot_.resize(n);
+  }
+
+  /// Re-factorize against \p a, reusing this solver's buffers (no
+  /// allocation once the size matches a previous call). Throws
+  /// NumericError on singularity; the solver must then be re-factorized
+  /// before the next solve.
+  void factorize(const Matrix<T>& a) {
+    if (a.rows() != a.cols()) throw NumericError("LU: matrix not square");
+    lu_ = a;  // vector copy-assign: reuses capacity for same-sized systems
+    pivot_.resize(lu_.rows());
+    factorize_impl();
   }
 
   size_t size() const { return lu_.rows(); }
 
   /// Solve A x = b; returns x. \p b must have size() entries.
   std::vector<T> solve(const std::vector<T>& b) const {
-    if (b.size() != size()) throw NumericError("LU: rhs size mismatch");
     std::vector<T> x(size());
+    solve_into(b, x);
+    return x;
+  }
+
+  /// Solve A x = b into the caller-owned \p x (resized to size(); no
+  /// allocation when already that size). \p b and \p x must not alias.
+  void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
+    if (b.size() != size()) throw NumericError("LU: rhs size mismatch");
+    x.resize(size());
     for (size_t i = 0; i < size(); ++i) x[i] = b[pivot_[i]];
     // Forward substitution (unit lower-triangular L).
     for (size_t i = 1; i < size(); ++i) {
@@ -83,11 +125,10 @@ public:
       for (size_t j = ii + 1; j < size(); ++j) sum -= lu_(ii, j) * x[j];
       x[ii] = sum / lu_(ii, ii);
     }
-    return x;
   }
 
 private:
-  void factorize() {
+  void factorize_impl() {
     const size_t n = lu_.rows();
     const double scale = lu_.max_abs();
     if (scale == 0.0) throw NumericError("LU: zero matrix");
