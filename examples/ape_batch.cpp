@@ -11,8 +11,8 @@
 ///
 /// Spec file grammar (one spec per line, '#' starts a comment):
 ///
-///   name=oa0 gain=200 ugf=1.3e6 ibias=1e-6 cload=10e-12 \
-///       source=wilson buffer=1 zout=1e3 area=5000e-12
+///   name=oa0 gain=200 ugf=1.3e6 ibias=1e-6 cload=10e-12
+///   name=oa1 gain=500 source=wilson buffer=1 zout=1e3 area=5000e-12
 ///
 /// Unknown keys are rejected; omitted keys keep OpAmpSpec defaults.
 /// Output is a single JSON document on stdout (or --out FILE):

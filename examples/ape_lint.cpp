@@ -1,0 +1,93 @@
+/// \file ape_lint.cpp
+/// Static netlist analyzer CLI (DESIGN.md section 9).
+///
+///   ape_lint [options] [netlist.sp ...]
+///
+/// Reads each netlist file (or stdin when no file is given), runs the
+/// full lint rule set (topology + MNA-solvability + case-alias scan) and
+/// prints one JSON report. Exit status: 0 = clean, 1 = findings with
+/// severity error, 2 = usage / I/O failure.
+///
+/// Options:
+///   --warnings-as-errors   exit 1 on warnings too
+///   --quiet                suppress the JSON, keep only the exit status
+///   --help                 usage
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ape_lint: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+void usage() {
+  std::printf(
+      "usage: ape_lint [--warnings-as-errors] [--quiet] [netlist.sp ...]\n"
+      "Lints SPICE netlists (stdin when no file given); prints JSON findings.\n"
+      "Exit: 0 clean, 1 lint errors, 2 usage/IO failure.\n"
+      "Rule catalog: src/lint/lint.h / DESIGN.md section 9.\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) die("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string read_stdin() {
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool warnings_as_errors = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--warnings-as-errors") {
+      warnings_as_errors = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option '" + arg + "' (see --help)");
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  ape::lint::Report report;
+  if (files.empty()) {
+    report = ape::lint::lint_netlist(read_stdin());
+  } else {
+    for (const std::string& path : files) {
+      ape::ErrorContext scope(path);
+      report.merge(ape::lint::lint_netlist(read_file(path)));
+    }
+  }
+
+  if (!quiet) std::printf("%s\n", report.to_json().c_str());
+  const bool fail =
+      report.errors() > 0 || (warnings_as_errors && report.warnings() > 0);
+  if (fail && !quiet) {
+    std::fprintf(stderr, "ape_lint: %s\n", report.summary().c_str());
+  }
+  return fail ? 1 : 0;
+}

@@ -100,7 +100,11 @@ Testbench wire_module(const ModuleDesign& d, const Process& proc,
     tb.supply_source = "Vdd";
   }
   const double cm = amps.cm(0);
-  nb.vsource("Vref", "vref", "0", "DC " + fmt(cm));
+  // The converters reference the ladder taps / bit sources instead of the
+  // mid-rail node; an unused Vref would trip ape-lint's dangling-node rule.
+  if (d.spec.kind != ModuleKind::FlashAdc && d.spec.kind != ModuleKind::R2RDac) {
+    nb.vsource("Vref", "vref", "0", "DC " + fmt(cm));
+  }
 
   switch (d.spec.kind) {
     case ModuleKind::AudioAmp: {

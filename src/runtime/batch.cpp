@@ -4,6 +4,7 @@
 #include <future>
 #include <thread>
 
+#include "src/lint/lint.h"
 #include "src/runtime/executor.h"
 #include "src/util/diagnostics.h"
 #include "src/util/error.h"
@@ -11,6 +12,13 @@
 
 namespace ape::runtime {
 namespace {
+
+/// BatchOptions::lint_first gate; throws lint::LintError on a dirty spec.
+template <class Spec>
+void lint_gate(bool enabled, const est::Process& proc, const Spec& spec) {
+  if (!enabled) return;
+  lint::require_clean(lint::lint_spec(spec, proc), "lint-first");
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -98,6 +106,7 @@ OpAmpBatchResult run_opamp_batch(const est::Process& proc,
 
   OpAmpBatchResult out;
   fan_out(specs.size(), threads, "opamp_batch", out.jobs, [&](size_t i) {
+    lint_gate(options.lint_first, proc, specs[i]);
     synth::SynthesisOptions so = options.synth;
     so.anneal.seed = Rng::derive_stream(options.seed, i);
     // The job runs on one pool slot; its restarts stay serial unless the
@@ -131,6 +140,7 @@ ModuleBatchResult run_module_batch(const est::Process& proc,
 
   ModuleBatchResult out;
   fan_out(specs.size(), threads, "module_batch", out.jobs, [&](size_t i) {
+    lint_gate(options.lint_first, proc, specs[i]);
     synth::SynthesisOptions so = options.synth;
     so.anneal.seed = Rng::derive_stream(options.seed, i);
     if (options.synth.restart_threads == 0) so.restart_threads = 1;
@@ -158,6 +168,7 @@ OpAmpEstimateBatchResult estimate_opamp_batch(
 
   OpAmpEstimateBatchResult out;
   fan_out(specs.size(), threads, "opamp_estimate", out.jobs, [&](size_t i) {
+    lint_gate(options.lint_first, proc, specs[i]);
     if (options.cache != nullptr) return options.cache->opamp(proc, specs[i]);
     return std::make_shared<const est::OpAmpDesign>(
         est::OpAmpEstimator(proc).estimate(specs[i]));
@@ -176,6 +187,7 @@ ModuleEstimateBatchResult estimate_module_batch(
 
   ModuleEstimateBatchResult out;
   fan_out(specs.size(), threads, "module_estimate", out.jobs, [&](size_t i) {
+    lint_gate(options.lint_first, proc, specs[i]);
     if (options.cache != nullptr) return options.cache->module(proc, specs[i]);
     return std::make_shared<const est::ModuleDesign>(
         est::ModuleEstimator(proc).estimate(specs[i]));

@@ -43,6 +43,11 @@ struct BatchOptions {
   /// Optional shared estimate cache (memoizes the APE seed designs /
   /// module prototypes across jobs and batches). Not owned.
   EstimateCache* cache = nullptr;
+  /// Lint every job's spec (lint::lint_spec, DESIGN.md section 9) before
+  /// synthesizing / estimating it. A spec with lint errors fails its job
+  /// with the lint summary — isolated per job like any other ape::Error,
+  /// and before any synthesis budget is spent on it.
+  bool lint_first = false;
 };
 
 /// One job's outcome; `ok == false` means the job threw and `error`

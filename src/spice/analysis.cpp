@@ -101,6 +101,7 @@ void check_budget(const RunBudget* budget, const char* where) {
 Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
   ErrorContext scope("dc('" + ckt.title() + "')");
   ckt.finalize();
+  if (opts.preflight) opts.preflight(ckt);
   ConvergenceReport local_report;
   ConvergenceReport* rep = opts.report != nullptr ? opts.report : &local_report;
   *rep = ConvergenceReport{};

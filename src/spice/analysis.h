@@ -3,6 +3,7 @@
 /// DC operating point, AC small-signal sweep and transient analysis.
 
 #include <complex>
+#include <functional>
 #include <vector>
 
 #include "src/spice/circuit.h"
@@ -34,6 +35,12 @@ struct DcOptions {
   /// Cooperative deadline: checked between ladder rungs; an exhausted
   /// budget aborts the solve with a NumericError (never mid-iteration).
   const RunBudget* budget = nullptr;
+  /// Invoked on the finalized circuit before the first Newton iteration;
+  /// throwing from the hook aborts the solve. The lint layer plugs its
+  /// structural-solvability gate in here (lint::preflight(), DESIGN.md
+  /// section 9) so singular topologies fail fast with a named rule
+  /// instead of burning the whole gmin / source-stepping ladder.
+  std::function<void(const Circuit&)> preflight;
 };
 
 /// Solve the DC operating point. On success every device has its

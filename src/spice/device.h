@@ -106,6 +106,37 @@ struct TranContext {
   bool first_step = true; ///< true on the step leaving the DC operating point
 };
 
+// ---------------------------------------------------------------------------
+
+/// How a device edge behaves in the DC MNA structure. The static
+/// analyzer (src/lint) uses this classification to prove structural
+/// solvability — voltage-source loops, current-source cutsets and
+/// missing ground paths — without assembling or factoring anything.
+enum class EdgeKind {
+  Conductive,     ///< carries DC current with finite conductance (R, diode,
+                  ///< MOSFET channel)
+  VoltageDefined, ///< constrains v(p) - v(n) via a branch equation (V, E, H,
+                  ///< inductor at DC); a cycle of these is singular
+  CurrentSource,  ///< injects a fixed/controlled current, no DC conductance
+                  ///< (I, F, G); a cutset of these is singular
+  Capacitive,     ///< open at DC (held up only by gmin), conducts in AC
+};
+
+/// One structural edge between two terminals of a device.
+struct StructuralEdge {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  EdgeKind kind = EdgeKind::Conductive;
+};
+
+/// Structural description of one device: its electrical edges plus any
+/// high-impedance sense terminals (MOS gate/bulk, controlled-source
+/// control pins) that attach to a node without providing a DC path.
+struct DeviceStructure {
+  std::vector<StructuralEdge> edges;
+  std::vector<NodeId> sense;
+};
+
 /// Abstract circuit element.
 class Device {
 public:
@@ -154,6 +185,12 @@ public:
   /// Append this device's equivalent noise-current sources (evaluated at
   /// the cached operating point). Noiseless devices append nothing.
   virtual void noise_sources(std::vector<NoiseSource>& out) const { (void)out; }
+
+  /// Structural description for the static analyzer (src/lint): which
+  /// terminal pairs form DC edges and which terminals only sense. The
+  /// default (no edges, no terminals) marks the device opaque — the
+  /// analyzer reports it as unmodeled instead of guessing.
+  virtual DeviceStructure structure() const { return {}; }
 
 private:
   std::string name_;

@@ -73,6 +73,10 @@ void Resistor::noise_sources(std::vector<NoiseSource>& out) const {
   out.push_back({p_, n_, k4kT / ohms_, 0.0});
 }
 
+DeviceStructure Resistor::structure() const {
+  return {{{p_, n_, EdgeKind::Conductive}}, {}};
+}
+
 // --- Capacitor ---------------------------------------------------------------
 
 Capacitor::Capacitor(std::string name, NodeId p, NodeId n, double farads)
@@ -107,6 +111,10 @@ void Capacitor::save_op(const Solution& x) {
 
 void Capacitor::accept_tran_step(const Solution& x, const TranContext& tc) {
   state_.accept(p_, n_, farads_, x, tc);
+}
+
+DeviceStructure Capacitor::structure() const {
+  return {{{p_, n_, EdgeKind::Capacitive}}, {}};
 }
 
 // --- Inductor ----------------------------------------------------------------
@@ -160,6 +168,11 @@ void Inductor::accept_tran_step(const Solution& x, const TranContext& tc) {
   v_prev_ = req * i_prev_ - veq;
 }
 
+DeviceStructure Inductor::structure() const {
+  // A DC short: v(p) = v(n) through a branch equation, like a 0 V source.
+  return {{{p_, n_, EdgeKind::VoltageDefined}}, {}};
+}
+
 // --- Waveform ----------------------------------------------------------------
 
 double Waveform::value(double t) const {
@@ -201,7 +214,7 @@ double Waveform::value(double t) const {
 // --- VSource -----------------------------------------------------------------
 
 VSource::VSource(std::string name, NodeId p, NodeId n, Waveform wave)
-    : Device(std::move(name)), p_(p), n_(n), wave_(wave) {}
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
 
 void VSource::claim_branches(size_t& next_branch) {
   branch_ = static_cast<NodeId>(next_branch++);
@@ -233,10 +246,14 @@ void VSource::stamp_tran(MnaReal& mna, const Solution&, const TranContext& tc) c
   mna.add_rhs(branch_, wave_.value(tc.time));
 }
 
+DeviceStructure VSource::structure() const {
+  return {{{p_, n_, EdgeKind::VoltageDefined}}, {}};
+}
+
 // --- ISource -----------------------------------------------------------------
 
 ISource::ISource(std::string name, NodeId p, NodeId n, Waveform wave)
-    : Device(std::move(name)), p_(p), n_(n), wave_(wave) {}
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
 
 void ISource::stamp_dc(MnaReal& mna, const Solution&, double src_scale) const {
   // Current flows p -> n inside the source (SPICE convention).
@@ -257,6 +274,10 @@ void ISource::stamp_tran(MnaReal& mna, const Solution&, const TranContext& tc) c
   const double i = wave_.value(tc.time);
   mna.add_rhs(p_, -i);
   mna.add_rhs(n_, i);
+}
+
+DeviceStructure ISource::structure() const {
+  return {{{p_, n_, EdgeKind::CurrentSource}}, {}};
 }
 
 // --- Controlled sources ------------------------------------------------------
@@ -286,6 +307,10 @@ void Vcvs::stamp_ac(MnaComplex& mna, double) const {
   mna.add(branch_, cn_, {gain_, 0.0});
 }
 
+DeviceStructure Vcvs::structure() const {
+  return {{{p_, n_, EdgeKind::VoltageDefined}}, {cp_, cn_}};
+}
+
 Vccs::Vccs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gm)
     : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
 
@@ -303,6 +328,10 @@ void Vccs::stamp_ac(MnaComplex& mna, double) const {
   mna.add(n_, cn_, {gm_, 0.0});
 }
 
+DeviceStructure Vccs::structure() const {
+  return {{{p_, n_, EdgeKind::CurrentSource}}, {cp_, cn_}};
+}
+
 Cccs::Cccs(std::string name, NodeId p, NodeId n, const VSource* ctrl, double gain)
     : Device(std::move(name)), p_(p), n_(n), ctrl_(ctrl), gain_(gain) {
   if (ctrl_ == nullptr) throw SpecError("CCCS " + this->name() + ": no control source");
@@ -316,6 +345,10 @@ void Cccs::stamp_dc(MnaReal& mna, const Solution&, double) const {
 void Cccs::stamp_ac(MnaComplex& mna, double) const {
   mna.add(p_, ctrl_->branch(), {gain_, 0.0});
   mna.add(n_, ctrl_->branch(), {-gain_, 0.0});
+}
+
+DeviceStructure Cccs::structure() const {
+  return {{{p_, n_, EdgeKind::CurrentSource}}, {}};
 }
 
 Ccvs::Ccvs(std::string name, NodeId p, NodeId n, const VSource* ctrl, double r)
@@ -341,6 +374,10 @@ void Ccvs::stamp_ac(MnaComplex& mna, double) const {
   mna.add(branch_, p_, {1.0, 0.0});
   mna.add(branch_, n_, {-1.0, 0.0});
   mna.add(branch_, ctrl_->branch(), {-r_, 0.0});
+}
+
+DeviceStructure Ccvs::structure() const {
+  return {{{p_, n_, EdgeKind::VoltageDefined}}, {}};
 }
 
 // --- Diode -------------------------------------------------------------------
@@ -375,6 +412,10 @@ void Diode::stamp_ac(MnaComplex& mna, double) const {
   mna.add(n_, n_, {gd_op_, 0.0});
   mna.add(p_, n_, {-gd_op_, 0.0});
   mna.add(n_, p_, {-gd_op_, 0.0});
+}
+
+DeviceStructure Diode::structure() const {
+  return {{{p_, n_, EdgeKind::Conductive}}, {}};
 }
 
 // --- Mosfet ------------------------------------------------------------------
@@ -520,6 +561,13 @@ void Mosfet::noise_sources(std::vector<NoiseSource>& out) const {
                   (model_->cox() * leff * leff);
   }
   out.push_back(src);
+}
+
+DeviceStructure Mosfet::structure() const {
+  // The channel conducts drain-source; gate and bulk draw no DC current
+  // (gate is purely capacitive, the bulk row is never stamped), so both
+  // are sense terminals that need a DC path from elsewhere.
+  return {{{d_, s_, EdgeKind::Conductive}}, {g_, b_}};
 }
 
 void Mosfet::accept_tran_step(const Solution& x, const TranContext& tc) {

@@ -35,6 +35,7 @@ public:
   void noise_sources(std::vector<NoiseSource>& out) const override;
 
   double resistance() const { return ohms_; }
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -52,6 +53,7 @@ public:
   void accept_tran_step(const Solution& x, const TranContext& tc) override;
 
   double capacitance() const { return farads_; }
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -71,6 +73,7 @@ public:
   void accept_tran_step(const Solution& x, const TranContext& tc) override;
 
   double inductance() const { return henries_; }
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -118,6 +121,7 @@ public:
   NodeId branch() const { return branch_; }
   const Waveform& wave() const { return wave_; }
   Waveform& wave() { return wave_; }
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -134,6 +138,7 @@ public:
   void stamp_tran(MnaReal& mna, const Solution& x, const TranContext& tc) const override;
 
   const Waveform& wave() const { return wave_; }
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -150,6 +155,7 @@ public:
   void claim_branches(size_t& next_branch) override;
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_, cp_, cn_;
@@ -164,6 +170,7 @@ public:
 
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_, cp_, cn_;
@@ -177,6 +184,7 @@ public:
 
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -192,6 +200,7 @@ public:
   void claim_branches(size_t& next_branch) override;
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -211,6 +220,7 @@ public:
   void stamp_dc(MnaReal& mna, const Solution& x, double src_scale) const override;
   void save_op(const Solution& x) override;
   void stamp_ac(MnaComplex& mna, double omega) const override;
+  DeviceStructure structure() const override;
 
 private:
   NodeId p_, n_;
@@ -243,6 +253,8 @@ public:
 
   /// Change the geometry in place (used by the synthesis engine).
   void resize(double w, double l);
+
+  DeviceStructure structure() const override;
 
 private:
   /// NMOS-normalized evaluation at candidate x, plus the drain-terminal

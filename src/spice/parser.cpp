@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -215,6 +216,7 @@ Circuit parse_netlist(const std::string& text) {
     bool is_cccs;
   };
   std::vector<PendingCc> pending_cc;
+  std::set<std::string> seen_names;
 
   for (size_t li = 1; li < lines.size(); ++li) {
     const std::string& line = lines[li];
@@ -228,29 +230,52 @@ Circuit parse_netlist(const std::string& text) {
     if (toks.size() < 3) throw ParseError(ctx + ": too few fields");
     const std::string name = toks[0];
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(name[0])));
+    if (!seen_names.insert(lower(name)).second) {
+      throw ParseError(ctx + ": duplicate device name '" + name + "'");
+    }
 
     auto nd = [&](const std::string& s) { return ckt.node(s); };
+    // A two-terminal element with both terminals on one node stamps a
+    // zero row (R/C/L) or an unsatisfiable branch (V); reject it here
+    // with the line number rather than letting the solve fail later.
+    auto two_nodes = [&](const char* elem) {
+      const NodeId p = nd(toks[1]);
+      const NodeId n = nd(toks[2]);
+      if (p == n) {
+        throw ParseError(ctx + ": " + elem + " '" + name +
+                         "' has both terminals on node '" + toks[1] + "'");
+      }
+      return std::pair<NodeId, NodeId>{p, n};
+    };
     switch (kind) {
-      case 'r':
+      case 'r': {
         if (toks.size() < 4) throw ParseError(ctx + ": R needs 2 nodes + value");
-        ckt.add<Resistor>(name, nd(toks[1]), nd(toks[2]), num(toks[3], ctx));
+        const auto [p, n] = two_nodes("resistor");
+        ckt.add<Resistor>(name, p, n, num(toks[3], ctx));
         break;
-      case 'c':
+      }
+      case 'c': {
         if (toks.size() < 4) throw ParseError(ctx + ": C needs 2 nodes + value");
-        ckt.add<Capacitor>(name, nd(toks[1]), nd(toks[2]), num(toks[3], ctx));
+        const auto [p, n] = two_nodes("capacitor");
+        ckt.add<Capacitor>(name, p, n, num(toks[3], ctx));
         break;
-      case 'l':
+      }
+      case 'l': {
         if (toks.size() < 4) throw ParseError(ctx + ": L needs 2 nodes + value");
-        ckt.add<Inductor>(name, nd(toks[1]), nd(toks[2]), num(toks[3], ctx));
+        const auto [p, n] = two_nodes("inductor");
+        ckt.add<Inductor>(name, p, n, num(toks[3], ctx));
         break;
-      case 'v':
-        ckt.add<VSource>(name, nd(toks[1]), nd(toks[2]),
-                         parse_waveform(toks, 3, ctx));
+      }
+      case 'v': {
+        const auto [p, n] = two_nodes("voltage source");
+        ckt.add<VSource>(name, p, n, parse_waveform(toks, 3, ctx));
         break;
-      case 'i':
-        ckt.add<ISource>(name, nd(toks[1]), nd(toks[2]),
-                         parse_waveform(toks, 3, ctx));
+      }
+      case 'i': {
+        const auto [p, n] = two_nodes("current source");
+        ckt.add<ISource>(name, p, n, parse_waveform(toks, 3, ctx));
         break;
+      }
       case 'e':
         if (toks.size() < 6) throw ParseError(ctx + ": E needs 4 nodes + gain");
         ckt.add<Vcvs>(name, nd(toks[1]), nd(toks[2]), nd(toks[3]), nd(toks[4]),
@@ -270,7 +295,8 @@ Circuit parse_netlist(const std::string& text) {
       case 'd': {
         double is = 1e-14;
         if (toks.size() >= 4 && units::parse(toks[3])) is = num(toks[3], ctx);
-        ckt.add<Diode>(name, nd(toks[1]), nd(toks[2]), is);
+        const auto [p, n] = two_nodes("diode");
+        ckt.add<Diode>(name, p, n, is);
         break;
       }
       case 'm': {
@@ -299,10 +325,16 @@ Circuit parse_netlist(const std::string& text) {
 
   for (const auto& pc : pending_cc) {
     auto& ctrl = ckt.find_as<VSource>(pc.ctrl);
+    const NodeId p = ckt.node(pc.p);
+    const NodeId n = ckt.node(pc.n);
+    if (p == n) {
+      throw ParseError("controlled source '" + pc.name +
+                       "' has both terminals on node '" + pc.p + "'");
+    }
     if (pc.is_cccs) {
-      ckt.add<Cccs>(pc.name, ckt.node(pc.p), ckt.node(pc.n), &ctrl, pc.gain);
+      ckt.add<Cccs>(pc.name, p, n, &ctrl, pc.gain);
     } else {
-      ckt.add<Ccvs>(pc.name, ckt.node(pc.p), ckt.node(pc.n), &ctrl, pc.gain);
+      ckt.add<Ccvs>(pc.name, p, n, &ctrl, pc.gain);
     }
   }
   return ckt;

@@ -165,5 +165,29 @@ TEST(Parser, MosfetNeedsKnownModel) {
   EXPECT_THROW(parse_netlist("t\nM1 d g 0 0 nosuch W=1u L=1u\n"), LookupError);
 }
 
+TEST(Parser, RejectsDuplicateDeviceName) {
+  try {
+    parse_netlist("t\nR1 a 0 1k\nr1 a 0 2k\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate device name"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsSelfLoopedTwoTerminalDevices) {
+  EXPECT_THROW(parse_netlist("t\nR1 a a 1k\n"), ParseError);
+  EXPECT_THROW(parse_netlist("t\nC1 0 gnd 1p\n"), ParseError);  // both ground
+  EXPECT_THROW(parse_netlist("t\nV1 x x DC 1\n"), ParseError);
+  EXPECT_THROW(parse_netlist("t\nV1 a 0 DC 1\nF1 b b v1 2\n"), ParseError);
+  try {
+    parse_netlist("t\nL1 n1 N1 1m\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("both terminals"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ape::spice
