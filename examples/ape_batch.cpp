@@ -8,6 +8,16 @@
 ///   ape_batch                           # built-in Table-1 spec set
 ///   ape_batch --threads 8 specs.txt     # pooled synthesis batch
 ///   ape_batch --estimate-only specs.txt # APE estimates only (no anneal)
+///   ape_batch --timeout-ms 500 --retries 2 specs.txt   # supervised run
+///   ape_batch --checkpoint run.ckpt specs.txt          # checkpointed run
+///   ape_batch --resume run.ckpt --checkpoint run.ckpt specs.txt
+///
+/// Synthesis batches run under the supervised runtime (DESIGN.md §10):
+/// --timeout-ms bounds each job's wall clock, --retries configures the
+/// recovery ladder (N plain retries + 1 relaxed-tolerance retry + the
+/// APE estimate-only fallback), --quarantine N trips the circuit breaker
+/// after N consecutive failures of the same spec fingerprint, and
+/// --checkpoint/--resume persist and restore finished jobs bit-exactly.
 ///
 /// Spec file grammar (one spec per line, '#' starts a comment):
 ///
@@ -29,6 +39,7 @@
 #include "bench/bench_util.h"
 #include "src/runtime/batch.h"
 #include "src/runtime/cache.h"
+#include "src/runtime/supervisor.h"
 #include "src/util/error.h"
 
 using namespace ape;
@@ -167,6 +178,12 @@ int main(int argc, char** argv) {
   bool estimate_only = false;
   std::string spec_path;
   std::string out_path;
+  double timeout_ms = 0.0;
+  int retries = 0;
+  int quarantine_threshold = 0;  // 0 = quarantine disabled
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  std::string resume_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -186,19 +203,37 @@ int main(int argc, char** argv) {
       options.synth.use_ape_seed = false;
     } else if (arg == "--estimate-only") {
       estimate_only = true;
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::atof(next().c_str());
+    } else if (arg == "--retries") {
+      retries = std::atoi(next().c_str());
+    } else if (arg == "--quarantine") {
+      quarantine_threshold = std::atoi(next().c_str());
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::atoi(next().c_str());
+    } else if (arg == "--resume") {
+      resume_path = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ape_batch [--threads N] [--seed S] [--iters N]\n"
           "                 [--restarts M] [--blind] [--estimate-only]\n"
-          "                 [--out FILE] [specfile]\n");
+          "                 [--timeout-ms T] [--retries N] [--quarantine N]\n"
+          "                 [--checkpoint FILE] [--checkpoint-every N]\n"
+          "                 [--resume FILE] [--out FILE] [specfile]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       die("unknown option '" + arg + "' (see --help)");
     } else {
       spec_path = arg;
     }
+  }
+  if (estimate_only &&
+      (!checkpoint_path.empty() || !resume_path.empty())) {
+    die("--checkpoint/--resume apply to synthesis batches only");
   }
 
   const std::vector<NamedSpec> named =
@@ -220,6 +255,7 @@ int main(int argc, char** argv) {
           (estimate_only ? "estimate" : "synthesize") + "\"},\n\"jobs\":[\n";
 
   runtime::BatchStats stats;
+  runtime::SupervisionStats supervision;
   if (estimate_only) {
     const auto r = runtime::estimate_opamp_batch(proc, specs, options);
     stats = r.stats;
@@ -241,17 +277,46 @@ int main(int argc, char** argv) {
       json += i + 1 < r.jobs.size() ? "},\n" : "}\n";
     }
   } else {
-    const auto r = runtime::run_opamp_batch(proc, specs, options);
+    runtime::SupervisorOptions sup;
+    sup.batch = options;
+    sup.job_timeout_s = timeout_ms / 1000.0;
+    if (retries > 0) {
+      sup.retry.plain_retries = retries;
+      sup.retry.relaxed_retries = 1;
+      sup.retry.estimate_fallback = true;
+    }
+    runtime::QuarantineRegistry quarantine;
+    if (quarantine_threshold > 0) {
+      sup.quarantine = &quarantine;
+      sup.quarantine_threshold = quarantine_threshold;
+    }
+    sup.checkpoint_path = checkpoint_path;
+    sup.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
+    sup.resume_path = resume_path;
+
+    const auto r = runtime::run_supervised_opamp_batch(proc, specs, sup);
     stats = r.stats;
+    supervision = r.supervision;
     for (size_t i = 0; i < r.jobs.size(); ++i) {
       const auto& j = r.jobs[i];
       json += "{\"name\":\"" + json_escape(named[i].name) + "\",";
       put_kv(json, "index", double(j.index));
+      put_kv(json, "attempts", double(j.attempts));
+      json += std::string("\"rung\":\"") + to_string(j.final_rung) + "\",";
+      json += std::string("\"deadline_hit\":") +
+              (j.deadline_hit ? "true," : "false,");
+      json += std::string("\"quarantined\":") +
+              (j.quarantined ? "true," : "false,");
+      json += std::string("\"resumed\":") + (j.resumed ? "true," : "false,");
+      json += std::string("\"estimate_fallback\":") +
+              (j.estimate_fallback ? "true," : "false,");
       if (j.ok) {
         const synth::SynthesisOutcome& o = j.outcome;
         json += "\"ok\":true,";
         json += std::string("\"meets_spec\":") +
                 (o.meets_spec ? "true," : "false,");
+        json += std::string("\"sim_failed\":") +
+                (o.sim_failed ? "true," : "false,");
         json += "\"comment\":\"" + json_escape(o.comment) + "\",";
         put_kv(json, "cost", o.cost);
         put_kv(json, "evaluations", double(o.evaluations));
@@ -276,7 +341,17 @@ int main(int argc, char** argv) {
   put_kv(json, "jobs_per_second", stats.jobs_per_second);
   put_kv(json, "cache_hits", double(stats.cache.hits));
   put_kv(json, "cache_misses", double(stats.cache.misses));
-  put_kv(json, "cache_hit_rate", stats.cache.hit_rate(), false);
+  put_kv(json, "cache_hit_rate", stats.cache.hit_rate());
+  put_kv(json, "attempts", double(supervision.attempts));
+  put_kv(json, "retries", double(supervision.retries));
+  put_kv(json, "relaxed_attempts", double(supervision.relaxed_attempts));
+  put_kv(json, "estimate_fallbacks", double(supervision.estimate_fallbacks));
+  put_kv(json, "deadline_hits", double(supervision.deadline_hits));
+  put_kv(json, "cancelled_jobs", double(supervision.cancelled_jobs));
+  put_kv(json, "quarantine_skips", double(supervision.quarantine_skips));
+  put_kv(json, "quarantined_new", double(supervision.quarantined_new));
+  put_kv(json, "checkpoints_written", double(supervision.checkpoints_written));
+  put_kv(json, "resumed_jobs", double(supervision.resumed_jobs), false);
   json += "}}\n";
 
   if (out_path.empty()) {

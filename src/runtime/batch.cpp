@@ -96,6 +96,46 @@ void finish_stats(BatchResult& out, int threads, double t0,
 
 }  // namespace
 
+namespace detail {
+
+synth::SynthesisOutcome run_one_opamp(const est::Process& proc,
+                                      const est::OpAmpSpec& spec, size_t index,
+                                      const BatchOptions& options) {
+  lint_gate(options.lint_first, proc, spec);
+  synth::SynthesisOptions so = options.synth;
+  so.anneal.seed = Rng::derive_stream(options.seed, index);
+  // The job runs on one pool slot; its restarts stay serial unless the
+  // caller explicitly asked for nested parallelism.
+  if (options.synth.restart_threads == 0) so.restart_threads = 1;
+  // Resolve the APE seed through the shared cache so identical specs
+  // estimate once across the whole batch. The shared_ptr pins the
+  // entry for the lifetime of the job.
+  std::shared_ptr<const est::OpAmpDesign> seed;
+  if (so.use_ape_seed && options.cache != nullptr && so.seed_design == nullptr) {
+    seed = options.cache->opamp(proc, spec);
+    so.seed_design = seed.get();
+  }
+  return synth::synthesize_opamp(proc, spec, so);
+}
+
+synth::ModuleSynthesisOutcome run_one_module(const est::Process& proc,
+                                             const est::ModuleSpec& spec,
+                                             size_t index,
+                                             const BatchOptions& options) {
+  lint_gate(options.lint_first, proc, spec);
+  synth::SynthesisOptions so = options.synth;
+  so.anneal.seed = Rng::derive_stream(options.seed, index);
+  if (options.synth.restart_threads == 0) so.restart_threads = 1;
+  std::shared_ptr<const est::ModuleDesign> proto;
+  if (options.cache != nullptr && so.module_proto == nullptr) {
+    proto = options.cache->module(proc, spec);
+    so.module_proto = proto.get();
+  }
+  return synth::synthesize_module(proc, spec, so);
+}
+
+}  // namespace detail
+
 OpAmpBatchResult run_opamp_batch(const est::Process& proc,
                                  const std::vector<est::OpAmpSpec>& specs,
                                  const BatchOptions& options) {
@@ -106,22 +146,7 @@ OpAmpBatchResult run_opamp_batch(const est::Process& proc,
 
   OpAmpBatchResult out;
   fan_out(specs.size(), threads, "opamp_batch", out.jobs, [&](size_t i) {
-    lint_gate(options.lint_first, proc, specs[i]);
-    synth::SynthesisOptions so = options.synth;
-    so.anneal.seed = Rng::derive_stream(options.seed, i);
-    // The job runs on one pool slot; its restarts stay serial unless the
-    // caller explicitly asked for nested parallelism.
-    if (options.synth.restart_threads == 0) so.restart_threads = 1;
-    // Resolve the APE seed through the shared cache so identical specs
-    // estimate once across the whole batch. The shared_ptr pins the
-    // entry for the lifetime of the job.
-    std::shared_ptr<const est::OpAmpDesign> seed;
-    if (so.use_ape_seed && options.cache != nullptr &&
-        so.seed_design == nullptr) {
-      seed = options.cache->opamp(proc, specs[i]);
-      so.seed_design = seed.get();
-    }
-    return synth::synthesize_opamp(proc, specs[i], so);
+    return detail::run_one_opamp(proc, specs[i], i, options);
   });
   for (const auto& j : out.jobs) {
     if (j.ok && j.outcome.meets_spec) ++out.stats.met_spec;
@@ -140,16 +165,7 @@ ModuleBatchResult run_module_batch(const est::Process& proc,
 
   ModuleBatchResult out;
   fan_out(specs.size(), threads, "module_batch", out.jobs, [&](size_t i) {
-    lint_gate(options.lint_first, proc, specs[i]);
-    synth::SynthesisOptions so = options.synth;
-    so.anneal.seed = Rng::derive_stream(options.seed, i);
-    if (options.synth.restart_threads == 0) so.restart_threads = 1;
-    std::shared_ptr<const est::ModuleDesign> proto;
-    if (options.cache != nullptr && so.module_proto == nullptr) {
-      proto = options.cache->module(proc, specs[i]);
-      so.module_proto = proto.get();
-    }
-    return synth::synthesize_module(proc, specs[i], so);
+    return detail::run_one_module(proc, specs[i], i, options);
   });
   for (const auto& j : out.jobs) {
     if (j.ok && j.outcome.meets_spec) ++out.stats.met_spec;

@@ -114,4 +114,23 @@ ModuleEstimateBatchResult estimate_module_batch(
     const est::Process& proc, const std::vector<est::ModuleSpec>& specs,
     const BatchOptions& options);
 
+namespace detail {
+
+/// The body of one opamp batch job (lint gate, per-job seed derivation,
+/// cached APE-seed resolution, synthesis) without the fan-out / error
+/// capture around it. Exposed so the supervised runtime (supervisor.h)
+/// re-runs exactly the same job under its retry ladder: a supervised
+/// attempt and an unsupervised job are byte-for-byte the same work.
+synth::SynthesisOutcome run_one_opamp(const est::Process& proc,
+                                      const est::OpAmpSpec& spec, size_t index,
+                                      const BatchOptions& options);
+
+/// Module counterpart of run_one_opamp.
+synth::ModuleSynthesisOutcome run_one_module(const est::Process& proc,
+                                             const est::ModuleSpec& spec,
+                                             size_t index,
+                                             const BatchOptions& options);
+
+}  // namespace detail
+
 }  // namespace ape::runtime

@@ -12,9 +12,14 @@
 ///  - the first thread to request a key computes it (a per-entry mutex
 ///    serializes the fill; other requesters of the *same* key block until
 ///    the value is ready, requesters of different keys proceed);
-///  - a compute that throws is cached as an error entry and rethrown to
-///    every requester — a spec that is infeasible once is infeasible
-///    forever, so the failure is memoized too (negative caching);
+///  - a compute that throws is rethrown to every requester already
+///    waiting on the fill. Whether the failure is *memoized* depends on
+///    its ErrorClass (error.h): a Permanent failure (infeasible spec) is
+///    cached as an error entry — infeasible once is infeasible forever —
+///    while a Transient failure (numerical, budget, injected fault)
+///    releases the fill slot so a later request recomputes. Without the
+///    release, one transient fault would poison the key for every retry
+///    the supervisor ladder makes (DESIGN.md section 10);
 ///  - values are immutable after fill and handed out as
 ///    shared_ptr<const Value>, so a hit is safe to hold across the
 ///    lifetime of the cache entry and across threads.
@@ -34,6 +39,7 @@
 #include "src/estimator/modules.h"
 #include "src/estimator/opamp.h"
 #include "src/estimator/process.h"
+#include "src/util/error.h"
 
 namespace ape::runtime {
 
@@ -86,6 +92,16 @@ public:
         entry->value = std::make_shared<const Value>(compute());
       } catch (...) {
         entry->error = std::current_exception();
+        if (!should_negative_cache(entry->error)) {
+          // Transient failure: drop the entry so the next requester
+          // recomputes. Requesters already holding this entry still see
+          // the error below — only the *map* forgets it. Taking mu_
+          // while holding entry->fill cannot deadlock: no thread waits
+          // on a fill mutex while holding mu_.
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = map_.find(key);
+          if (it != map_.end() && it->second == entry) map_.erase(it);
+        }
       }
     } else {
       // Block until the creator releases the fill lock (a no-op wait for
@@ -121,6 +137,20 @@ private:
     std::shared_ptr<const Value> value;
     std::exception_ptr error;
   };
+
+  /// Negative-cache a failed fill only when the failure is Permanent by
+  /// the error taxonomy; anything that is not an ape::Error is treated as
+  /// transient (we know nothing about it, so keeping the key retryable
+  /// is the safe default).
+  static bool should_negative_cache(const std::exception_ptr& ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const Error& e) {
+      return !e.transient();
+    } catch (...) {
+      return false;
+    }
+  }
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> map_;

@@ -89,22 +89,48 @@ bool newton_dc(Circuit& ckt, SolveWorkspace& ws, Solution& x, double gmin,
 }
 
 /// Throw when the cooperative budget expired (checked between rungs so a
-/// deadline can never abandon a half-updated solution vector).
+/// deadline can never abandon a half-updated solution vector). Polls the
+/// options budget AND the thread's ambient job budget, so a supervisor
+/// deadline or cancellation reaches solves that never saw the options.
 void check_budget(const RunBudget* budget, const char* where) {
-  if (budget != nullptr && budget->exhausted()) {
-    throw NumericError(std::string(where) + ": run budget exhausted");
+  if (const RunBudget* b = exhausted_budget(budget)) {
+    throw NumericError(std::string(where) + ": " + b->exhaust_reason());
   }
+}
+
+/// Resolve the effective DC options for this call: when the thread runs
+/// under an ambient SolverRelaxation (the supervision ladder's relaxed
+/// rung), widen the tolerances and stop the gmin ladder at the relaxed
+/// floor; otherwise \p opts passes through untouched.
+const DcOptions* effective_dc_options(const DcOptions& opts, DcOptions& storage,
+                                      ConvergenceReport* rep) {
+  const SolverRelaxation* rx = ambient_relaxation();
+  if (rx == nullptr) return &opts;
+  storage = opts;
+  storage.reltol *= rx->tol_factor;
+  storage.vntol *= rx->tol_factor;
+  storage.abstol *= rx->tol_factor;
+  std::vector<double> rungs;
+  for (double g : storage.gmin_steps) {
+    if (g >= rx->gmin_floor * 0.999) rungs.push_back(g);
+  }
+  if (!rungs.empty()) storage.gmin_steps = std::move(rungs);
+  if (rep != nullptr) rep->relaxed_tolerances = true;
+  return &storage;
 }
 
 }  // namespace
 
-Solution dc_operating_point(Circuit& ckt, const DcOptions& opts) {
+Solution dc_operating_point(Circuit& ckt, const DcOptions& caller_opts) {
   ErrorContext scope("dc('" + ckt.title() + "')");
   ckt.finalize();
-  if (opts.preflight) opts.preflight(ckt);
   ConvergenceReport local_report;
-  ConvergenceReport* rep = opts.report != nullptr ? opts.report : &local_report;
+  ConvergenceReport* rep =
+      caller_opts.report != nullptr ? caller_opts.report : &local_report;
   *rep = ConvergenceReport{};
+  DcOptions relaxed_storage;
+  const DcOptions& opts = *effective_dc_options(caller_opts, relaxed_storage, rep);
+  if (opts.preflight) opts.preflight(ckt);
   Solution x;
   x.x.assign(ckt.dim(), 0.0);
   SolveWorkspace ws(ckt);
@@ -202,11 +228,10 @@ DcSweepResult dc_sweep(Circuit& ckt, const std::string& vsource, double start,
   for (long i = 1; i <= n_steps; ++i) {
     const double v = start + static_cast<double>(i) * step;
     vs.wave().dc = v;
-    if (opts.budget != nullptr && opts.budget->exhausted()) {
+    if (const RunBudget* b = exhausted_budget(opts.budget)) {
       vs.wave().dc = original;
-      throw NumericError("dc_sweep('" + vsource +
-                         "'): run budget exhausted at sweep value " +
-                         units::format_eng(v) + " V");
+      throw NumericError("dc_sweep('" + vsource + "'): " + b->exhaust_reason() +
+                         " at sweep value " + units::format_eng(v) + " V");
     }
     if (!newton_dc(ckt, ws, x, opts.gmin_steps.back(), 1.0, opts, opts.report)) {
       // Fall back to the full ladder if the warm start fails.
@@ -245,6 +270,13 @@ AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
   const double ratio = std::pow(10.0, decades / (n - 1));
   double f = f_start;
   for (int k = 0; k < n; ++k) {
+    // AC has no per-call budget knob; the poll here exists so a
+    // supervisor's ambient job deadline / cancellation also reaches
+    // frequency sweeps (they are the long pole of opamp verification).
+    if (const RunBudget* b = exhausted_budget(nullptr)) {
+      throw NumericError("ac_analysis: " + std::string(b->exhaust_reason()) +
+                         " at f=" + units::format_eng(f) + " Hz");
+    }
     kern.assemble(2.0 * M_PI * f);
     kern.solve_into(out.solutions[static_cast<size_t>(k)]);
     out.freq_hz[static_cast<size_t>(k)] = f;
@@ -255,14 +287,28 @@ AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
 }
 
 TranResult transient(Circuit& ckt, double t_step, double t_stop,
-                     const TranOptions& opts) {
+                     const TranOptions& caller_opts) {
   ErrorContext scope("transient('" + ckt.title() + "')");
   if (t_step <= 0.0 || t_stop <= t_step) {
     throw SpecError("transient: bad time range");
   }
   ConvergenceReport local_report;
-  ConvergenceReport* rep = opts.report != nullptr ? opts.report : &local_report;
+  ConvergenceReport* rep =
+      caller_opts.report != nullptr ? caller_opts.report : &local_report;
   *rep = ConvergenceReport{};
+  // The relaxed supervision rung widens transient tolerances and allows
+  // extra sub-stepping, mirroring effective_dc_options for DC.
+  TranOptions relaxed_storage;
+  const TranOptions* eff = &caller_opts;
+  if (const SolverRelaxation* rx = ambient_relaxation()) {
+    relaxed_storage = caller_opts;
+    relaxed_storage.reltol *= rx->tol_factor;
+    relaxed_storage.vntol *= rx->tol_factor;
+    relaxed_storage.max_step_halvings += rx->extra_step_halvings;
+    eff = &relaxed_storage;
+    rep->relaxed_tolerances = true;
+  }
+  const TranOptions& opts = *eff;
   Solution x = dc_operating_point(ckt);
 
   TranResult out;
@@ -284,9 +330,9 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
     double dt = t_target - t;
     int halvings = 0;
     while (t < t_target - 1e-15) {
-      if (opts.budget != nullptr && opts.budget->exhausted()) {
-        throw NumericError("transient: run budget exhausted at t=" +
-                           units::format_eng(t) + " s");
+      if (const RunBudget* b = exhausted_budget(opts.budget)) {
+        throw NumericError("transient: " + std::string(b->exhaust_reason()) +
+                           " at t=" + units::format_eng(t) + " s");
       }
       dt = std::min(dt, t_target - t);
       TranContext tc{dt, t + dt, first};

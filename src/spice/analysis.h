@@ -34,6 +34,8 @@ struct DcOptions {
   ConvergenceReport* report = nullptr;
   /// Cooperative deadline: checked between ladder rungs; an exhausted
   /// budget aborts the solve with a NumericError (never mid-iteration).
+  /// The thread's ambient job budget (ScopedJobBudget) is polled at the
+  /// same sites, so a supervisor deadline needs no options plumbing.
   const RunBudget* budget = nullptr;
   /// Invoked on the finalized circuit before the first Newton iteration;
   /// throwing from the hook aborts the solve. The lint layer plugs its
@@ -91,7 +93,9 @@ struct AcResult {
 /// Logarithmic AC sweep. Requires a previous dc_operating_point() so the
 /// devices have cached small-signal parameters. When \p kstats is set it
 /// receives the compiled AC kernel's counters for the sweep (fused vs
-/// virtual points, factorizations, workspace footprint).
+/// virtual points, factorizations, workspace footprint). Polls the
+/// thread's ambient job budget per point (there is no per-call budget
+/// knob) so supervisor deadlines reach frequency sweeps too.
 AcResult ac_analysis(Circuit& ckt, double f_start, double f_stop,
                      int points_per_decade = 20, KernelStats* kstats = nullptr);
 
@@ -113,7 +117,8 @@ struct TranOptions {
   /// When set, filled with step-halving / failure counters for the run.
   ConvergenceReport* report = nullptr;
   /// Cooperative deadline: checked between time steps; an exhausted
-  /// budget aborts with a NumericError naming the time reached.
+  /// budget aborts with a NumericError naming the time reached. The
+  /// ambient job budget (ScopedJobBudget) is polled at the same sites.
   const RunBudget* budget = nullptr;
 };
 

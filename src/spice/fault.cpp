@@ -1,6 +1,8 @@
 #include "src/spice/fault.h"
 
+#include <chrono>
 #include <limits>
+#include <thread>
 
 #include "src/util/error.h"
 
@@ -57,6 +59,9 @@ bool FaultInjector::on_dc_convergence(double gmin, double src_scale) {
 
 bool FaultInjector::on_transient_step() {
   ++counts_.tran_steps;
+  if (tran_stall_s_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(tran_stall_s_));
+  }
   if (veto_tran_left_ <= 0) return false;
   --veto_tran_left_;
   ++counts_.injected_vetoes;

@@ -19,6 +19,8 @@
 ///  - convergence veto at a chosen gmin rung (forces the DC recovery
 ///    ladder onto its next plan);
 ///  - transient Newton veto (forces step halvings / sub-stepping);
+///  - transient stall (sleeps per step — a "hanging spec" for deadline
+///    and cancellation tests of the supervised runtime);
 ///  - SpecError thrown from the synthesis cost evaluation (simulates an
 ///    estimator failure mid-synthesis);
 ///  - random LU failures with configured probability (seeded).
@@ -83,6 +85,12 @@ public:
   /// step halving, i.e. sub-stepping below the user grid).
   void veto_transient(int times) { veto_tran_left_ = times; }
 
+  /// Sleep \p seconds in every transient Newton probe — the "hanging
+  /// spec" fault for supervisor deadline tests. The stall happens at a
+  /// probe site, so the solver state stays consistent and the ambient
+  /// budget check at the top of the next sub-step observes the deadline.
+  void stall_transient(double seconds) { tran_stall_s_ = seconds; }
+
   /// Throw ape::SpecError from every \p n-th synthesis cost evaluation
   /// (1-based period; n = 3 faults evals 3, 6, 9, ...).
   void throw_spec_error_every(long n) { spec_error_period_ = n; }
@@ -121,6 +129,7 @@ private:
   double veto_gmin_ = -1.0;
   int veto_gmin_left_ = 0;
   int veto_tran_left_ = 0;
+  double tran_stall_s_ = 0.0;
   long spec_error_period_ = 0;
 };
 

@@ -51,7 +51,10 @@ AnnealResult anneal(const std::function<double(const std::vector<double>&)>& cos
   double t = t_start;
   std::vector<double> cand = x;
   for (int it = 1; it < opts.iterations; ++it, t *= alpha) {
-    if (opts.budget != nullptr && opts.budget->exhausted()) {
+    // Polls the options budget and the thread's ambient job budget, so a
+    // supervisor deadline / cancellation stops the search between moves
+    // with best-so-far intact.
+    if (exhausted_budget(opts.budget) != nullptr) {
       res.budget_exhausted = true;
       break;
     }

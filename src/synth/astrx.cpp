@@ -175,15 +175,27 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   const MultiStartResult ms = multi_start_anneal(make_cost, bounds, x0, opts);
   const AnnealResult& ar = ms.best;
 
-  SynthesisOutcome out;
-  out.cost = ar.best_cost;
+  SynthesisOutcome out = finalize_opamp_outcome(proc, spec, ar.best_x, ar.best_cost);
   out.skipped_candidates = ms.skipped;
   out.rejected_nonfinite = ms.rejected_nonfinite;
   out.budget_exhausted = ms.budget_exhausted;
   out.evaluations = ms.evaluations;
   out.restarts_run = ms.restarts_run;
   out.best_restart = ms.best_restart;
-  const OpAmpVars best = OpAmpVars::unpack(ar.best_x, buffered);
+  out.cpu_seconds = now_seconds() - t0;
+  return out;
+}
+
+SynthesisOutcome finalize_opamp_outcome(const Process& proc,
+                                        const OpAmpSpec& spec,
+                                        const std::vector<double>& best_x,
+                                        double best_cost) {
+  ErrorContext scope("finalize_opamp_outcome");
+  const bool buffered = spec.buffer;
+  SynthesisOutcome out;
+  out.cost = best_cost;
+  out.best_x = best_x;
+  const OpAmpVars best = OpAmpVars::unpack(best_x, buffered);
   const OpAmpEval ev = evaluate_opamp_vars(proc, best, spec.ibias, spec.cload);
   out.functional = ev.functional;
   out.design = design_from_vars(proc, best, spec);
@@ -196,7 +208,7 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   } catch (const Error&) {
     sim_ok = false;
   }
-  out.cpu_seconds = now_seconds() - t0;
+  out.sim_failed = !sim_ok;
 
   // Table-1 style diagnosis against the spec.
   const double vdd = proc.vdd;
@@ -580,6 +592,7 @@ ModuleSynthesisOutcome synthesize_module(const Process& proc,
   out.evaluations = ms.evaluations;
   out.restarts_run = ms.restarts_run;
   out.best_restart = ms.best_restart;
+  out.best_x = ar.best_x;
   bool functional = false;
   out.design = module_from_vars(proc, proto, ar.best_x, &functional);
   out.functional = functional;
@@ -591,6 +604,7 @@ ModuleSynthesisOutcome synthesize_module(const Process& proc,
   } catch (const Error&) {
     sim_ok = false;
   }
+  out.sim_failed = !sim_ok;
   out.cpu_seconds = now_seconds() - t0;
 
   if (!sim_ok || !functional) {

@@ -7,6 +7,7 @@
 /// simulator, mirroring the paper's SPICE check of synthesis output.
 
 #include <string>
+#include <vector>
 
 #include "src/estimator/modules.h"
 #include "src/estimator/opamp.h"
@@ -65,6 +66,15 @@ struct SynthesisOutcome {
   int evaluations = 0;           ///< cost evaluations actually performed
   int restarts_run = 1;          ///< anneal restarts executed (multi-start)
   int best_restart = 0;          ///< index of the winning restart
+  /// The winning annealer point (packed OpAmpVars). design/sim/comment
+  /// are pure functions of (proc, spec, best_x), which is what makes a
+  /// checkpointed outcome reconstructible bit-identically on resume.
+  std::vector<double> best_x;
+  /// True when the final simulator verification threw: the design and
+  /// cost are still the search's best, but sim is empty and the comment
+  /// reads "doesn't work". The supervision ladder retries these when
+  /// RetryPolicy::retry_sim_failures is set.
+  bool sim_failed = false;
 };
 
 /// Size a two-stage opamp to \p spec. Blind mode ignores APE entirely;
@@ -72,6 +82,18 @@ struct SynthesisOutcome {
 SynthesisOutcome synthesize_opamp(const est::Process& proc,
                                   const est::OpAmpSpec& spec,
                                   const SynthesisOptions& opts);
+
+/// Rebuild the verified tail of an opamp synthesis outcome from its
+/// winning point: unpack \p best_x, re-derive the design, re-run the
+/// simulator verification and the Table-1 diagnosis. Deterministic given
+/// (proc, spec, best_x), so a checkpoint need only persist best_x and the
+/// search counters — used by synthesize_opamp itself and by the
+/// supervisor's --resume path. Search counters and cpu_seconds are left
+/// at their defaults for the caller to fill.
+SynthesisOutcome finalize_opamp_outcome(const est::Process& proc,
+                                        const est::OpAmpSpec& spec,
+                                        const std::vector<double>& best_x,
+                                        double best_cost);
 
 /// Outcome of one analog-module synthesis run.
 struct ModuleSynthesisOutcome {
@@ -89,6 +111,8 @@ struct ModuleSynthesisOutcome {
   int evaluations = 0;
   int restarts_run = 1;
   int best_restart = 0;
+  std::vector<double> best_x;    ///< winning annealer point (see SynthesisOutcome)
+  bool sim_failed = false;       ///< simulator verification threw
   // Simulator-verified module metrics (meaning depends on the kind).
   double sim_gain = 0.0;
   double sim_bw_hz = 0.0;

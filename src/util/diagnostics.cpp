@@ -17,6 +17,12 @@ std::vector<std::string>& context_stack() {
   return stack;
 }
 
+/// The per-thread ambient job budget / solver relaxation slots (see the
+/// THREAD-SAFETY RULE in diagnostics.h: these are two of the four
+/// sanctioned thread_local instances).
+thread_local const RunBudget* g_ambient_budget = nullptr;
+thread_local const SolverRelaxation* g_ambient_relaxation = nullptr;
+
 }  // namespace
 
 std::string annotate_with_context(const std::string& what) {
@@ -99,6 +105,7 @@ std::string ConvergenceReport::summary() const {
   if (nonfinite_rejections > 0) os << " nonfinite=" << nonfinite_rejections;
   if (step_halvings > 0) os << " halvings=" << step_halvings;
   if (convergence_vetoes > 0) os << " vetoes=" << convergence_vetoes;
+  if (relaxed_tolerances) os << " relaxed";
   return os.str();
 }
 
@@ -131,11 +138,23 @@ bool RunBudget::charge(long n) {
 }
 
 bool RunBudget::exhausted() const {
+  if (cancelled()) return true;
   if (max_evals_ >= 0 && used_.load(std::memory_order_relaxed) >= max_evals_) {
     return true;
   }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) return true;
   return false;
+}
+
+const char* RunBudget::exhaust_reason() const {
+  if (cancelled()) return "cancelled";
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return "deadline exceeded";
+  }
+  if (max_evals_ >= 0 && used_.load(std::memory_order_relaxed) >= max_evals_) {
+    return "evaluation cap reached";
+  }
+  return "within budget";
 }
 
 double RunBudget::seconds_left() const {
@@ -144,5 +163,35 @@ double RunBudget::seconds_left() const {
                                        std::chrono::steady_clock::now())
       .count();
 }
+
+// ---------------------------------------------------------------------------
+
+ScopedJobBudget::ScopedJobBudget(const RunBudget& budget)
+    : previous_(g_ambient_budget) {
+  g_ambient_budget = &budget;
+}
+
+ScopedJobBudget::~ScopedJobBudget() { g_ambient_budget = previous_; }
+
+const RunBudget* ambient_budget() { return g_ambient_budget; }
+
+const RunBudget* exhausted_budget(const RunBudget* local) {
+  if (local != nullptr && local->exhausted()) return local;
+  if (g_ambient_budget != nullptr && g_ambient_budget->exhausted()) {
+    return g_ambient_budget;
+  }
+  return nullptr;
+}
+
+ScopedSolverRelaxation::ScopedSolverRelaxation(const SolverRelaxation& relax)
+    : previous_(g_ambient_relaxation) {
+  g_ambient_relaxation = &relax;
+}
+
+ScopedSolverRelaxation::~ScopedSolverRelaxation() {
+  g_ambient_relaxation = previous_;
+}
+
+const SolverRelaxation* ambient_relaxation() { return g_ambient_relaxation; }
 
 }  // namespace ape

@@ -14,25 +14,41 @@
 ///   solve used (gmin rung reached, source steps, Newton iterations,
 ///   step halvings), filled in when the caller asks for it.
 /// - RunBudget: a cooperative budget (wall-clock deadline and/or max
-///   cost evaluations). Long-running loops poll it and return their
-///   best-so-far result instead of overrunning.
+///   cost evaluations, optionally wired to a CancelToken). Long-running
+///   loops poll it and return their best-so-far result instead of
+///   overrunning.
+/// - CancelToken: a sticky, thread-safe cancellation flag. A RunBudget
+///   with an attached token reports exhausted() as soon as the token
+///   fires, so every budget poll site doubles as a cancellation point.
+/// - ScopedJobBudget: RAII installation of a *job-wide* budget on the
+///   current thread. Solver loops poll the ambient budget in addition to
+///   the one in their options, so a supervisor can impose a deadline on
+///   an entire job (estimate -> anneal -> simulator verification)
+///   without threading a pointer through every layer.
+/// - ScopedSolverRelaxation: RAII installation of relaxed solver
+///   tolerances on the current thread — the "relaxed" rung of the
+///   supervision retry ladder (DESIGN.md section 10). dc_operating_point
+///   and transient() widen their tolerances and stop the gmin ladder at
+///   a higher floor while a relaxation is installed.
 ///
-/// The scope stack is thread_local: it is the one deliberate exception
-/// to the "no global mutable state" convention (DESIGN.md section 5),
-/// justified because provenance must cross layers that do not know about
-/// each other, and a thread_local stack keeps it race-free.
+/// The scope stack is thread_local: it is a deliberate exception to the
+/// "no global mutable state" convention (DESIGN.md section 5), justified
+/// because provenance must cross layers that do not know about each
+/// other, and a thread_local stack keeps it race-free.
 ///
 /// THREAD-SAFETY RULE (binding for all estimation / simulation /
 /// synthesis paths, enforced since the batch runtime runs them on pool
 /// threads — see DESIGN.md section 7): any mutable state reachable from
 /// those paths must be (a) owned by the job (locals / value members
-/// passed explicitly), (b) thread_local (this file's ErrorContext stack
-/// and the FaultInjector slot in src/spice/fault.h are the only two
+/// passed explicitly), (b) thread_local (this file's ErrorContext stack,
+/// ambient-budget slot and solver-relaxation slot, plus the
+/// FaultInjector slot in src/spice/fault.h, are the only four
 /// instances), or (c) an explicitly synchronized shared object whose
-/// header documents that property (runtime::MemoCache, RunBudget). A
-/// worker thread starts with *empty* thread_local state: provenance
-/// frames and fault injectors installed on the submitting thread do not
-/// follow a job into the pool — the job must re-open its own scope
+/// header documents that property (runtime::MemoCache, RunBudget,
+/// CancelToken, runtime::QuarantineRegistry). A worker thread starts
+/// with *empty* thread_local state: provenance frames, fault injectors,
+/// ambient budgets and relaxations installed on the submitting thread do
+/// not follow a job into the pool — the job must re-open its own scope
 /// (the runtime's batch entry points do this, stamping each job's
 /// index) and, in tests, install its own injector.
 ///
@@ -128,6 +144,10 @@ struct ConvergenceReport {
   int nonfinite_rejections = 0;     ///< fail-fast aborts on non-finite solutions
   int step_halvings = 0;            ///< transient local dt refinements
   int convergence_vetoes = 0;       ///< injected non-convergence (tests only)
+  /// True when the solve ran under an ambient SolverRelaxation (the
+  /// supervision ladder's relaxed rung): tolerances were widened and the
+  /// gmin ladder stopped at the relaxed floor.
+  bool relaxed_tolerances = false;
   /// Compiled-kernel counters for the call (stamps skipped, in-place
   /// factorizations, workspace bytes); see KernelStats.
   KernelStats kernel;
@@ -138,11 +158,24 @@ struct ConvergenceReport {
 
 // ---------------------------------------------------------------------------
 
+/// Sticky, thread-safe cancellation flag. cancel() may be called from any
+/// thread (a signal handler, a supervisor, a UI); workers observe it
+/// cooperatively through an attached RunBudget or by polling cancelled()
+/// directly. Once fired it never resets — create a new token per run.
+class CancelToken {
+public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> flag_{false};
+};
+
 /// Cooperative run budget: a wall-clock deadline and/or a cap on cost
-/// evaluations. Unlimited by default. Loops call charge() per unit of
-/// work and stop (returning best-so-far) once exhausted() is true;
-/// nothing is enforced preemptively, so a budget can never corrupt state
-/// mid-operation.
+/// evaluations, optionally wired to a CancelToken. Unlimited by default.
+/// Loops call charge() per unit of work and stop (returning best-so-far)
+/// once exhausted() is true; nothing is enforced preemptively, so a
+/// budget can never corrupt state mid-operation.
 class RunBudget {
 public:
   RunBudget() = default;  ///< unlimited
@@ -155,12 +188,27 @@ public:
   void set_deadline_in(double seconds);
   void set_max_evaluations(long n);
 
+  /// Attach a cancellation token (not owned; must outlive the budget):
+  /// exhausted() also returns true once the token fires, so every budget
+  /// poll site becomes a cancellation point.
+  void attach_cancel(const CancelToken* token) { cancel_ = token; }
+
   /// Record \p n units of work. Returns true while within budget.
   /// Thread-safe: concurrent jobs may charge one shared budget.
   bool charge(long n = 1);
 
-  /// True once the deadline passed or the evaluation cap is reached.
+  /// True once the deadline passed, the evaluation cap is reached, or an
+  /// attached CancelToken fired.
   bool exhausted() const;
+
+  /// Why exhausted() holds: "cancelled", "deadline exceeded" or
+  /// "evaluation cap reached" ("within budget" otherwise). Checked in
+  /// that priority order so a cancelled run reports the cancellation
+  /// even when its deadline also lapsed.
+  const char* exhaust_reason() const;
+
+  /// True when an attached CancelToken fired (regardless of deadline).
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
 
   long evaluations_used() const { return used_.load(std::memory_order_relaxed); }
   long max_evaluations() const { return max_evals_; }
@@ -175,11 +223,13 @@ public:
       : deadline_(o.deadline_),
         has_deadline_(o.has_deadline_),
         max_evals_(o.max_evals_),
+        cancel_(o.cancel_),
         used_(o.used_.load(std::memory_order_relaxed)) {}
   RunBudget& operator=(const RunBudget& o) {
     deadline_ = o.deadline_;
     has_deadline_ = o.has_deadline_;
     max_evals_ = o.max_evals_;
+    cancel_ = o.cancel_;
     used_.store(o.used_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     return *this;
@@ -189,7 +239,71 @@ private:
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   long max_evals_ = -1;  ///< -1 = uncapped
+  const CancelToken* cancel_ = nullptr;  ///< optional, not owned
   std::atomic<long> used_{0};
 };
+
+// ---------------------------------------------------------------------------
+// Ambient (thread-local) job budget.
+
+/// RAII installation of \p budget as the current thread's ambient job
+/// budget. While installed, every solver loop that polls a RunBudget
+/// (newton ladders, dc_sweep, transient stepping, ac_analysis points,
+/// the anneal loop) also polls this one — the supervision layer's way of
+/// imposing one wall-clock deadline / cancellation point on an entire
+/// job without threading options through every layer. Nesting replaces
+/// the budget and restores the previous one on scope exit; the budget is
+/// not owned and must outlive the scope.
+class ScopedJobBudget {
+public:
+  explicit ScopedJobBudget(const RunBudget& budget);
+  ~ScopedJobBudget();
+
+  ScopedJobBudget(const ScopedJobBudget&) = delete;
+  ScopedJobBudget& operator=(const ScopedJobBudget&) = delete;
+
+private:
+  const RunBudget* previous_;
+};
+
+/// The ambient budget installed on this thread (nullptr when none).
+const RunBudget* ambient_budget();
+
+/// The first exhausted budget of {\p local, the thread's ambient budget},
+/// or nullptr when both are within budget (or absent). Poll sites use
+/// the returned budget's exhaust_reason() to name why they stopped.
+const RunBudget* exhausted_budget(const RunBudget* local);
+
+// ---------------------------------------------------------------------------
+// Ambient (thread-local) solver relaxation.
+
+/// Relaxed-solver parameters for the "relaxed" rung of the supervision
+/// retry ladder: a second attempt at a non-convergent job re-runs with
+/// tolerances widened by tol_factor and the gmin ladder stopped at
+/// gmin_floor (a slightly damped but solvable system) instead of
+/// descending to the ideal 1e-12 rung.
+struct SolverRelaxation {
+  double tol_factor = 10.0;  ///< multiplies reltol / vntol / abstol
+  double gmin_floor = 1e-10; ///< lowest gmin rung attempted while relaxed
+  int extra_step_halvings = 4; ///< added to TranOptions::max_step_halvings
+};
+
+/// RAII installation of a SolverRelaxation on the current thread (same
+/// discipline as ScopedJobBudget: nesting replaces, exit restores, the
+/// object is not owned).
+class ScopedSolverRelaxation {
+public:
+  explicit ScopedSolverRelaxation(const SolverRelaxation& relax);
+  ~ScopedSolverRelaxation();
+
+  ScopedSolverRelaxation(const ScopedSolverRelaxation&) = delete;
+  ScopedSolverRelaxation& operator=(const ScopedSolverRelaxation&) = delete;
+
+private:
+  const SolverRelaxation* previous_;
+};
+
+/// The relaxation installed on this thread (nullptr in normal runs).
+const SolverRelaxation* ambient_relaxation();
 
 }  // namespace ape

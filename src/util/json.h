@@ -1,0 +1,60 @@
+#pragma once
+/// \file json.h
+/// Minimal JSON reader/writer helpers for the runtime's durable
+/// artifacts (the supervisor's checkpoint files, DESIGN.md section 10).
+///
+/// Scope is deliberately tiny: parse a complete document into a Value
+/// tree (objects, arrays, strings, numbers, bools, null), plus the two
+/// formatting helpers the writers share. Doubles that must round-trip
+/// bit-exactly are stored as hex-float *strings* ("0x1.8p+1") — JSON
+/// decimal numbers cannot guarantee that — and read back with
+/// parse_hex_double(). Malformed input throws ape::ParseError with the
+/// offending byte offset.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ape::json {
+
+/// One parsed JSON value. A tagged struct rather than a variant: the
+/// checkpoint reader walks a handful of small documents, so simplicity
+/// beats compactness.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;                          ///< Kind::Array
+  std::vector<std::pair<std::string, Value>> members; ///< Kind::Object
+
+  /// Member lookup on an object (nullptr when absent or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Typed accessors; each throws ape::ParseError on a kind mismatch so
+  /// a malformed checkpoint fails loudly instead of defaulting silently.
+  bool as_bool() const;
+  double as_number() const;
+  long as_long() const;
+  const std::string& as_string() const;
+
+  /// as_string() parsed as a hex-float (see file comment).
+  double as_hex_double() const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Throws ape::ParseError.
+Value parse(const std::string& text);
+
+/// Escape \p s for embedding in a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+/// Lossless hex-float formatting ("%a") for bit-exact round-trips.
+std::string hex_double(double v);
+
+/// Inverse of hex_double (accepts any strtod-parsable spelling).
+double parse_hex_double(const std::string& s);
+
+}  // namespace ape::json

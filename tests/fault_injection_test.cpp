@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/runtime/supervisor.h"
 #include "src/spice/analysis.h"
 #include "src/spice/circuit.h"
 #include "src/spice/devices.h"
@@ -17,6 +18,7 @@
 #include "src/synth/astrx.h"
 #include "src/util/diagnostics.h"
 #include "src/util/error.h"
+#include "src/util/retry.h"
 #include "src/util/units.h"
 
 namespace ape::spice {
@@ -409,3 +411,172 @@ TEST(FaultInjection, SynthesisUnderExpiringBudgetReturnsBestSoFar) {
 
 }  // namespace
 }  // namespace ape::synth
+
+// ---------------------------------------------------------------------------
+// The supervised-recovery matrix (DESIGN.md section 10): each spice-layer
+// fault site crossed with the retry-ladder rungs. A fault that clears
+// after the first attempt must be recovered by the plain Retry rung, a
+// longer-lived one by the Relaxed rung, and a persistent one must leave
+// the job with its best-so-far synthesized outcome (never swapped for a
+// bare estimate, never a crash or a hang).
+
+namespace ape::runtime {
+namespace {
+
+/// A fault site of the simulator layer, armed on an injector. All of
+/// these break the *verification* simulation of a synthesized design, so
+/// they surface as sim_failed outcomes that the ladder escalates.
+struct FaultSite {
+  const char* name;
+  void (*arm)(spice::FaultInjector&);
+};
+
+const FaultSite kEscalatingSites[] = {
+    {"singular-lu", [](spice::FaultInjector& fi) { fi.fail_lu_from(0); }},
+    {"poisoned-stamp",
+     [](spice::FaultInjector& fi) {
+       fi.poison_stamp(0, std::numeric_limits<long>::max());
+     }},
+    {"gmin-veto",
+     [](spice::FaultInjector& fi) { fi.veto_gmin_rung(1e-2, 1 << 20); }},
+};
+
+est::OpAmpSpec matrix_spec() {
+  est::OpAmpSpec s;
+  s.gain = 150.0;
+  s.ugf_hz = 3e6;
+  s.ibias = 10e-6;
+  s.cload = 10e-12;
+  return s;
+}
+
+/// One supervised single-spec batch with the fault armed on attempts
+/// [0, faulted_attempts).
+SupervisedOpAmpResult run_matrix_job(const FaultSite& site,
+                                     int faulted_attempts) {
+  SupervisorOptions sup;
+  sup.batch.seed = 77;
+  sup.batch.synth.use_ape_seed = true;
+  sup.batch.synth.anneal.iterations = 60;
+  sup.batch.threads = 1;
+  sup.retry.plain_retries = 1;
+  sup.retry.relaxed_retries = 1;
+  sup.retry.estimate_fallback = true;
+  sup.fault_setup = [&site, faulted_attempts](size_t, int attempt,
+                                              spice::FaultInjector& fi) {
+    if (attempt < faulted_attempts) site.arm(fi);
+  };
+  const auto r = run_supervised_opamp_batch(
+      est::Process::default_1u2(), {matrix_spec()}, sup);
+  return r.jobs.at(0);
+}
+
+TEST(FaultInjectionSupervised, FaultClearingAfterOneAttemptRecoversOnRetry) {
+  for (const FaultSite& site : kEscalatingSites) {
+    SCOPED_TRACE(site.name);
+    const auto job = run_matrix_job(site, /*faulted_attempts=*/1);
+    ASSERT_TRUE(job.ok) << job.error;
+    EXPECT_EQ(job.attempts, 2);
+    EXPECT_EQ(job.final_rung, RetryRung::Retry);
+    EXPECT_FALSE(job.outcome.sim_failed);
+    EXPECT_FALSE(job.estimate_fallback);
+  }
+}
+
+TEST(FaultInjectionSupervised, FaultClearingAfterTwoAttemptsRecoversRelaxed) {
+  for (const FaultSite& site : kEscalatingSites) {
+    SCOPED_TRACE(site.name);
+    const auto job = run_matrix_job(site, /*faulted_attempts=*/2);
+    ASSERT_TRUE(job.ok) << job.error;
+    EXPECT_EQ(job.attempts, 3);
+    EXPECT_EQ(job.final_rung, RetryRung::Relaxed);
+    EXPECT_FALSE(job.outcome.sim_failed);
+  }
+}
+
+TEST(FaultInjectionSupervised, PersistentFaultKeepsBestSoFarNotEstimate) {
+  for (const FaultSite& site : kEscalatingSites) {
+    SCOPED_TRACE(site.name);
+    const auto job = run_matrix_job(site, /*faulted_attempts=*/1 << 20);
+    // Every verification died, but synthesis itself finished: the ladder
+    // runs dry and keeps the synthesized best-so-far outcome instead of
+    // discarding it for the bare estimate.
+    ASSERT_TRUE(job.ok) << job.error;
+    EXPECT_EQ(job.attempts, 3);  // initial + retry + relaxed, then stop
+    EXPECT_TRUE(job.outcome.sim_failed);
+    EXPECT_FALSE(job.estimate_fallback);
+    EXPECT_FALSE(job.outcome.best_x.empty());
+    EXPECT_EQ(job.outcome.comment, "doesn't work");
+  }
+}
+
+TEST(FaultInjectionSupervised, InnerRecoveryAbsorbsFaultsWithoutEscalation) {
+  // Faults the solver's own ladders absorb must never reach the retry
+  // ladder: transient Newton vetoes sub-step, cost-eval SpecErrors skip
+  // the candidate, and the attempt count stays at one.
+  const FaultSite absorbed[] = {
+      {"transient-veto",
+       [](spice::FaultInjector& fi) { fi.veto_transient(1 << 20); }},
+      {"cost-eval-spec-error",
+       [](spice::FaultInjector& fi) { fi.throw_spec_error_every(3); }},
+  };
+  for (const FaultSite& site : absorbed) {
+    SCOPED_TRACE(site.name);
+    const auto job = run_matrix_job(site, /*faulted_attempts=*/1 << 20);
+    ASSERT_TRUE(job.ok) << job.error;
+    EXPECT_EQ(job.attempts, 1);
+    EXPECT_EQ(job.final_rung, RetryRung::Initial);
+    EXPECT_FALSE(job.outcome.sim_failed);
+  }
+}
+
+TEST(FaultInjectionSupervised, StalledTransientIsKilledByTheDeadline) {
+  // The "hanging spec": every transient Newton probe stalls. Unsupervised
+  // this burns seconds per verification; under a deadline the job stops
+  // at the next probe and reports its partial outcome.
+  SupervisorOptions sup;
+  sup.batch.seed = 77;
+  sup.batch.synth.use_ape_seed = true;
+  sup.batch.synth.anneal.iterations = 60;
+  sup.batch.threads = 1;
+  sup.job_timeout_s = 0.5;
+  sup.fault_setup = [](size_t, int, spice::FaultInjector& fi) {
+    fi.stall_transient(0.010);
+  };
+  const auto r = run_supervised_opamp_batch(est::Process::default_1u2(),
+                                            {matrix_spec()}, sup);
+  ASSERT_TRUE(r.jobs[0].ok) << r.jobs[0].error;
+  EXPECT_TRUE(r.jobs[0].deadline_hit);
+  EXPECT_EQ(r.supervision.deadline_hits, 1);
+  // Bounded: well under the unsupervised stall time, above the deadline.
+  EXPECT_LT(r.stats.wall_seconds, 5.0);
+}
+
+TEST(FaultInjectionSupervised, PermanentSynthFailureFallsBackToEstimate) {
+  // ModuleKind::Integrator is estimable but not synthesizable: synthesis
+  // throws a permanent SpecError, so the ladder jumps straight to the
+  // EstimateOnly rung, which succeeds with the analytic module estimate.
+  std::vector<est::ModuleSpec> specs(1);
+  specs[0].kind = est::ModuleKind::Integrator;
+  specs[0].gain = 10.0;
+  specs[0].bw_hz = 10e3;
+  SupervisorOptions sup;
+  sup.batch.seed = 3;
+  sup.batch.synth.anneal.iterations = 40;
+  sup.batch.threads = 1;
+  sup.retry.plain_retries = 2;
+  sup.retry.relaxed_retries = 1;
+  sup.retry.estimate_fallback = true;
+  const auto r =
+      run_supervised_module_batch(est::Process::default_1u2(), specs, sup);
+  ASSERT_TRUE(r.jobs[0].ok) << r.jobs[0].error;
+  EXPECT_TRUE(r.jobs[0].estimate_fallback);
+  EXPECT_EQ(r.jobs[0].final_rung, RetryRung::EstimateOnly);
+  // Permanent: the plain/relaxed rungs were skipped, not burned.
+  EXPECT_EQ(r.jobs[0].attempts, 2);
+  EXPECT_EQ(r.supervision.estimate_fallbacks, 1);
+  EXPECT_FALSE(r.jobs[0].outcome.design.opamps.empty());
+}
+
+}  // namespace
+}  // namespace ape::runtime

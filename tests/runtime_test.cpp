@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/runtime/batch.h"
 #include "src/runtime/cache.h"
 #include "src/runtime/executor.h"
+#include "src/runtime/supervisor.h"
+#include "src/spice/fault.h"
 #include "src/synth/astrx.h"
 #include "src/util/error.h"
 
@@ -103,11 +107,31 @@ TEST(RuntimeCache, ErrorsAreMemoizedAndRethrown) {
   std::atomic<int> computes{0};
   auto boom = [&]() -> int {
     computes.fetch_add(1);
-    throw SpecError("infeasible");
+    throw SpecError("infeasible");  // Permanent: stays negative-cached
   };
   EXPECT_THROW(cache.get_or_compute("bad", boom), SpecError);
   EXPECT_THROW(cache.get_or_compute("bad", boom), SpecError);
   EXPECT_EQ(computes.load(), 1);  // the failure itself is cached
+}
+
+TEST(RuntimeCache, TransientFillFailureReleasesTheSlot) {
+  // Regression: an injected transient fault on the *first* fill must not
+  // poison the key — the fill slot is released and a retry recomputes.
+  // (Before the supervised runtime this negative-cached like a permanent
+  // failure, so one transient fault starved every later retry.)
+  MemoCache<int> cache;
+  int computes = 0;
+  auto flaky = [&]() -> int {
+    if (++computes == 1) throw NumericError("injected transient fault");
+    return 7;
+  };
+  EXPECT_THROW(cache.get_or_compute("k", flaky), NumericError);
+  EXPECT_EQ(cache.size(), 0u);  // the failed entry is gone from the map
+  EXPECT_EQ(*cache.get_or_compute("k", flaky), 7);
+  EXPECT_EQ(computes, 2);
+  // The healthy value is now memoized like any other.
+  EXPECT_EQ(*cache.get_or_compute("k", flaky), 7);
+  EXPECT_EQ(computes, 2);
 }
 
 TEST(RuntimeCache, EstimateCacheKeysSeparateSpecs) {
@@ -330,6 +354,76 @@ TEST(RuntimeBatch, ModuleBatchDeterministicAndIsolated) {
   // Jobs 0 and 2 share a spec; both caches see one miss + one hit for it.
   EXPECT_EQ(c1.stats().misses, c8.stats().misses);
   EXPECT_GE(c1.stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised batches keep the determinism contract: retries and resume
+// change nothing about which bits come out at 1 thread vs 8 threads.
+
+TEST(RuntimeBatch, SupervisedRetriesAndResumeDeterministicAcrossThreads) {
+  const auto specs = batch_specs(12);
+  auto supervised = [&](int threads) {
+    SupervisorOptions sup;
+    sup.batch = fast_synth_options();
+    sup.batch.threads = threads;
+    sup.retry.plain_retries = 1;
+    sup.retry.relaxed_retries = 1;
+    sup.retry.estimate_fallback = true;
+    // Every third job's first attempt dies in verification (singular LU)
+    // and recovers on the plain retry. Faults are keyed on (job, attempt)
+    // only, so the schedule is identical at any thread count.
+    sup.fault_setup = [](size_t index, int attempt,
+                         spice::FaultInjector& fi) {
+      if (index % 3 == 0 && attempt == 0) fi.fail_lu_from(0);
+    };
+    return sup;
+  };
+
+  const auto r1 = run_supervised_opamp_batch(proc(), specs, supervised(1));
+  const auto r8 = run_supervised_opamp_batch(proc(), specs, supervised(8));
+  ASSERT_EQ(r1.jobs.size(), specs.size());
+  EXPECT_EQ(r1.supervision.retries, 4);  // jobs 0, 3, 6, 9
+  EXPECT_EQ(r8.supervision.retries, 4);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(r1.jobs[i].ok) << r1.jobs[i].error;
+    ASSERT_TRUE(r8.jobs[i].ok) << r8.jobs[i].error;
+    EXPECT_EQ(r1.jobs[i].attempts, r8.jobs[i].attempts) << i;
+    const auto f1 = fingerprint(r1.jobs[i].outcome);
+    const auto f8 = fingerprint(r8.jobs[i].outcome);
+    ASSERT_EQ(f1.size(), f8.size());
+    for (size_t k = 0; k < f1.size(); ++k) {
+      EXPECT_EQ(f1[k], f8[k]) << "job " << i << " field " << k;
+    }
+  }
+
+  // Interrupt an 8-thread retrying run mid-way, then resume at 1 thread:
+  // the stitched-together results still match the uninterrupted ones.
+  const std::string ckpt = testing::TempDir() + "runtime_resume.ckpt";
+  CancelToken cancel;
+  SupervisorOptions interrupted = supervised(8);
+  interrupted.checkpoint_path = ckpt;
+  interrupted.cancel = &cancel;
+  std::atomic<int> completed{0};
+  interrupted.on_job_done = [&](size_t, bool) {
+    if (completed.fetch_add(1) + 1 == 5) cancel.cancel();
+  };
+  (void)run_supervised_opamp_batch(proc(), specs, interrupted);
+
+  SupervisorOptions resumed = supervised(1);
+  resumed.resume_path = ckpt;
+  const auto rr = run_supervised_opamp_batch(proc(), specs, resumed);
+  ASSERT_EQ(rr.jobs.size(), specs.size());
+  EXPECT_GE(rr.supervision.resumed_jobs, 1);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(rr.jobs[i].ok) << rr.jobs[i].error;
+    const auto f1 = fingerprint(r1.jobs[i].outcome);
+    const auto fr = fingerprint(rr.jobs[i].outcome);
+    ASSERT_EQ(f1.size(), fr.size());
+    for (size_t k = 0; k < f1.size(); ++k) {
+      EXPECT_EQ(f1[k], fr[k]) << "resumed job " << i << " field " << k;
+    }
+  }
+  std::remove(ckpt.c_str());
 }
 
 // ---------------------------------------------------------------------------
