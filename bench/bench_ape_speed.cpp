@@ -219,11 +219,23 @@ int run_batch_comparison() {
                                    pooled.stats.wall_seconds
                              : 0.0;
 
+  // A speedup measured on one hardware thread is not a speedup claim:
+  // the pool run degenerates to serial-with-overhead. Record the real
+  // thread count and mark the comparison invalid rather than publishing
+  // a meaningless 1.0x as evidence for or against the pool.
+  const bool speedup_valid = hw > 1;
+
   std::printf("serial: %.2f s (%.2f jobs/s)\n", serial.stats.wall_seconds,
               serial.stats.jobs_per_second);
   std::printf("pooled: %.2f s (%.2f jobs/s) on %d threads -> %.2fx\n",
               pooled.stats.wall_seconds, pooled.stats.jobs_per_second, hw,
               speedup);
+  if (!speedup_valid) {
+    std::printf(
+        "WARNING: only 1 hardware thread available; the serial-vs-pooled "
+        "comparison cannot demonstrate a speedup on this machine "
+        "(parallel_speedup_valid=false in the JSON record).\n");
+  }
   std::printf("deterministic match: %s, cache hit rate %.2f\n",
               identical ? "yes" : "NO", pooled.stats.cache.hit_rate());
 
@@ -243,6 +255,7 @@ int run_batch_comparison() {
       "  \"serial_jobs_per_second\": %.3f,\n"
       "  \"pooled_jobs_per_second\": %.3f,\n"
       "  \"speedup\": %.3f,\n"
+      "  \"parallel_speedup_valid\": %s,\n"
       "  \"deterministic_match\": %s,\n"
       "  \"failed_jobs\": %d,\n"
       "  \"cache_hits\": %ld,\n"
@@ -264,7 +277,8 @@ int run_batch_comparison() {
       "}\n",
       specs.size(), hw, serial.stats.wall_seconds, pooled.stats.wall_seconds,
       serial.stats.jobs_per_second, pooled.stats.jobs_per_second, speedup,
-      identical ? "true" : "false", pooled.stats.failed,
+      speedup_valid ? "true" : "false", identical ? "true" : "false",
+      pooled.stats.failed,
       pooled.stats.cache.hits, pooled.stats.cache.misses,
       pooled.stats.cache.hit_rate(), est_us, ks.baseline_builds,
       ks.baseline_restores, ks.linear_stamps_skipped, ks.nonlinear_stamps,

@@ -41,6 +41,7 @@
 #include "src/runtime/cache.h"
 #include "src/runtime/supervisor.h"
 #include "src/util/error.h"
+#include "src/util/signal.h"
 
 using namespace ape;
 
@@ -294,6 +295,15 @@ int main(int argc, char** argv) {
     sup.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
     sup.resume_path = resume_path;
 
+    // SIGINT/SIGTERM trip the run's CancelToken instead of killing the
+    // process: in-flight jobs stop at their next probe, the supervisor
+    // writes its final checkpoint (cancelled jobs recorded unfinished,
+    // so --resume re-runs exactly those), and we exit 130 below. A
+    // second signal falls through to the default disposition.
+    static CancelToken interrupt;
+    util::install_cancel_on_signal(interrupt);
+    sup.cancel = &interrupt;
+
     const auto r = runtime::run_supervised_opamp_batch(proc, specs, sup);
     stats = r.stats;
     supervision = r.supervision;
@@ -362,6 +372,16 @@ int main(int argc, char** argv) {
     out << json;
     std::fprintf(stderr, "ape_batch: wrote %s (%d jobs, %.2f jobs/s)\n",
                  out_path.c_str(), stats.jobs, stats.jobs_per_second);
+  }
+  if (util::last_signal() != 0) {
+    std::fprintf(stderr,
+                 "ape_batch: interrupted by signal %d after %d cancelled "
+                 "job(s)%s\n",
+                 util::last_signal(), supervision.cancelled_jobs,
+                 checkpoint_path.empty()
+                     ? ""
+                     : ("; resume with --resume " + checkpoint_path).c_str());
+    return 130;
   }
   return stats.failed == 0 ? 0 : 1;
 }

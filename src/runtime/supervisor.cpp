@@ -666,6 +666,28 @@ SupervisedOpAmpBatchResult run_supervised_opamp_batch(
   return out;
 }
 
+SupervisedOpAmpResult run_supervised_opamp_job(const est::Process& proc,
+                                               const est::OpAmpSpec& spec,
+                                               const SupervisorOptions& options,
+                                               size_t index,
+                                               SupervisionStats* stats) {
+  if (!options.checkpoint_path.empty() || !options.resume_path.empty()) {
+    throw SpecError(
+        "run_supervised_opamp_job: checkpoint/resume applies to batches, "
+        "not single supervised jobs");
+  }
+  const uint64_t fp = spec_fingerprint(proc, spec);
+  SupervisionStats local;
+  SupervisedOpAmpResult r = supervise_one<synth::SynthesisOutcome>(
+      index, fp, options, local,
+      [&](size_t j) {
+        return detail::run_one_opamp(proc, spec, j, options.batch);
+      },
+      [&](size_t) { return estimate_only_opamp(proc, spec, options.batch); });
+  if (stats != nullptr) merge(*stats, local);
+  return r;
+}
+
 SupervisedModuleBatchResult run_supervised_module_batch(
     const est::Process& proc, const std::vector<est::ModuleSpec>& specs,
     const SupervisorOptions& options) {

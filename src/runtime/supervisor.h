@@ -212,4 +212,20 @@ SupervisedModuleBatchResult run_supervised_module_batch(
     const est::Process& proc, const std::vector<est::ModuleSpec>& specs,
     const SupervisorOptions& options);
 
+/// One supervised opamp job on the *calling* thread — the per-request
+/// lifecycle of the estimation service (src/serve, DESIGN.md section
+/// 11): the full retry ladder, deadline/cancellation and quarantine
+/// semantics of a batch job, without a batch's fan-out, checkpointing or
+/// its private Executor. checkpoint_path / resume_path must be empty
+/// (throws SpecError); options.batch.threads only bounds multi-start
+/// restart workers inside the attempt. \p stats, when non-null, receives
+/// the ladder's accounting merged in (callers aggregate across
+/// requests). \p index keys the deterministic seed stream and backoff
+/// jitter, exactly like a batch job's position.
+SupervisedOpAmpResult run_supervised_opamp_job(const est::Process& proc,
+                                               const est::OpAmpSpec& spec,
+                                               const SupervisorOptions& options,
+                                               size_t index = 0,
+                                               SupervisionStats* stats = nullptr);
+
 }  // namespace ape::runtime

@@ -1,0 +1,79 @@
+#include "src/serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/util/error.h"
+
+namespace ape::serve {
+
+Client::Client(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw SpecError("client: socket path too long for AF_UNIX");
+  }
+  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("client: socket(): ") + std::strerror(errno));
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  int rc;
+  do {
+    rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd_);
+    fd_ = -1;
+    throw Error("client: connect('" + socket_path + "'): " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Client::send(const std::string& request_json) {
+  if (!write_frame(fd_, request_json)) {
+    throw Error("client: send failed (daemon gone?)");
+  }
+}
+
+std::string Client::receive() {
+  std::string payload;
+  const FrameStatus status = read_frame(fd_, &payload);
+  if (status != FrameStatus::Ok) {
+    throw Error(std::string("client: response frame: ") + to_string(status));
+  }
+  return payload;
+}
+
+std::string Client::call(const std::string& request_json) {
+  send(request_json);
+  return receive();
+}
+
+bool Client::send_raw(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = write(fd_, p + sent, n - sent);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+    } else if (w < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Client::shutdown_write() { shutdown(fd_, SHUT_WR); }
+
+}  // namespace ape::serve

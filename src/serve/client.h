@@ -1,0 +1,53 @@
+#pragma once
+/// \file client.h
+/// Minimal blocking client for the estimation service: connect to the
+/// daemon's Unix socket, exchange length-prefixed JSON frames
+/// (protocol.h). Used by the ape_client CLI and by serve_test — which is
+/// why the raw fd and a send_raw() escape hatch are exposed: the
+/// robustness tests must be able to write deliberately broken bytes
+/// (truncated frames, oversized length prefixes) that the Client's own
+/// framing would never produce.
+
+#include <cstddef>
+#include <string>
+
+#include "src/serve/protocol.h"
+
+namespace ape::serve {
+
+class Client {
+public:
+  /// Connect to the daemon at \p socket_path (throws ape::Error when the
+  /// socket is absent or refuses).
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  /// One request/response round trip: frame \p request_json, read one
+  /// response frame back. Throws ape::Error on any framing failure (the
+  /// daemon closed the connection, truncated stream, ...).
+  std::string call(const std::string& request_json);
+
+  /// Send one well-formed frame without waiting for a response.
+  void send(const std::string& request_json);
+
+  /// Read one response frame (after send()). Throws on framing failure.
+  std::string receive();
+
+  /// Write \p n raw bytes, bypassing framing — tests only.
+  bool send_raw(const void* data, size_t n);
+
+  /// Half-close the write side (the daemon sees EOF after the current
+  /// frame) while responses stay readable.
+  void shutdown_write();
+
+  int fd() const { return fd_; }
+
+private:
+  int fd_ = -1;
+};
+
+}  // namespace ape::serve

@@ -1,0 +1,185 @@
+#pragma once
+/// \file server.h
+/// ape_serve: the overload-safe estimation daemon (DESIGN.md section
+/// 11). A long-running server that accepts estimate / synthesize /
+/// simulate jobs over a Unix-domain socket (length-prefixed JSON frames,
+/// protocol.h), multiplexes them onto one shared runtime::Executor, and
+/// runs every heavy request through the supervised job lifecycle
+/// (runtime::run_supervised_opamp_job: deadline, retry ladder,
+/// quarantine) with one bounded EstimateCache shared across all clients.
+///
+/// Robustness is the design driver, not throughput:
+///
+///  - Admission control. Heavy work (synthesize, simulate) is admitted
+///    only while `load < max_in_flight + queue_slots`, where load counts
+///    admitted-but-unfinished heavy jobs. The executor pool has exactly
+///    max_in_flight workers, so queue_slots bounds the backlog a client
+///    burst can park on the daemon.
+///  - Load shedding with graceful degradation. In the band
+///    [max_in_flight, max_in_flight + queue_slots) a synthesize request
+///    is not queued — it is answered *immediately* with the analytic APE
+///    estimate (the paper's cheap-estimate-for-expensive-simulation
+///    trade, applied as a server discipline) and marked
+///    `"degraded": true`. Above the band every heavy request is shed
+///    with `"status":"shed","reason":"overload"`. Estimate requests are
+///    themselves the cheap path: they always run (inline, off the
+///    executor) unless a per-client quota or drain sheds them.
+///  - Per-client quotas. Each connection may have at most
+///    quota_per_conn requests admitted (0 = unlimited); beyond that it
+///    sheds with reason "quota" — one greedy client cannot starve the
+///    socket.
+///  - Hard per-request deadlines. Every request runs under a RunBudget
+///    whose deadline is min(client timeout_ms, max_deadline_s) — always
+///    finite — wired to the server's drain CancelToken. A request can
+///    therefore never outlive the server's grace window, and a stalled
+///    solve stops at its next cooperative probe.
+///  - Malformed input never corrupts connection state. Bad JSON in a
+///    well-framed payload gets an "error" response and the connection
+///    continues (framing keeps the stream aligned). Only framing damage
+///    (oversized / zero length / truncation) closes the connection — and
+///    only that connection.
+///  - Graceful drain. request_drain() (or SIGTERM via
+///    util::install_cancel_on_signal + serve main) stops the accept
+///    loop, half-closes every connection's read side (in-flight requests
+///    still get their responses), and waits drain_grace_s; if work is
+///    still running then, the drain CancelToken fires and remaining jobs
+///    resolve at their next probe (estimate fallback or cancelled
+///    error). Every *accepted* request is answered before exit; the
+///    final stats flush to stderr and serve_forever() returns 0.
+///
+/// Concurrency model: one acceptor (the serve_forever caller's thread)
+/// polling {listen fd, signal wake fd}; one reader thread per
+/// connection, each handling its frames strictly in order (responses
+/// are never interleaved on a connection); heavy jobs run on the shared
+/// Executor while the connection thread waits on the future. All
+/// shared state is either atomic counters or mutex-guarded (THREAD-
+/// SAFETY RULE category (c), diagnostics.h).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/estimator/process.h"
+#include "src/runtime/cache.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/supervisor.h"
+#include "src/serve/protocol.h"
+#include "src/util/diagnostics.h"
+
+namespace ape::serve {
+
+struct ServeOptions {
+  std::string socket_path;     ///< Unix socket path (required)
+  int max_in_flight = 2;       ///< executor workers == full-service slots
+  int queue_slots = 4;         ///< admitted-beyond-saturation band (degraded)
+  int max_connections = 128;   ///< concurrent client connections
+  int quota_per_conn = 0;      ///< admitted requests per connection (0 = inf)
+  double max_deadline_s = 10.0;///< hard cap on any request's deadline
+  double drain_grace_s = 5.0;  ///< drain: time in-flight work may finish
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  size_t cache_capacity = 1024;///< EstimateCache bound per level (0 = inf)
+  int synth_iterations = 800;  ///< default anneal iterations
+  int synth_iterations_cap = 4000;  ///< cap on client-requested iterations
+  int retries = 1;             ///< plain retries in the request ladder
+  int quarantine_threshold = 3;///< consecutive failures before quarantine
+  uint64_t seed = 1;           ///< base seed; request i uses stream i
+};
+
+/// Monotonic server counters (snapshot). The `stats` op serializes this
+/// plus the cache counters.
+struct ServerStats {
+  long connections_opened = 0;
+  long connections_rejected = 0;  ///< at accept: over limit or draining
+  long requests = 0;          ///< well-formed requests parsed
+  long accepted = 0;          ///< admitted into service (incl. degraded)
+  long completed_ok = 0;      ///< "ok" responses
+  long degraded = 0;          ///< degraded (estimate-only) responses
+  long shed_overload = 0;
+  long shed_quota = 0;
+  long shed_draining = 0;
+  long errors = 0;            ///< "error" responses (parse or job failure)
+  long malformed_frames = 0;  ///< payloads that failed to parse
+  long framing_errors = 0;    ///< oversized / zero-length / truncated frames
+  long deadline_hits = 0;
+  long cancelled = 0;
+  long quarantine_hits = 0;   ///< requests skipped on a quarantined spec
+  long peak_in_flight = 0;
+
+  std::string summary() const;  ///< one-line human-readable flush
+};
+
+class Server {
+public:
+  /// Binds and listens immediately (throws ape::Error on failure); the
+  /// accept loop runs inside serve_forever().
+  Server(const est::Process& proc, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept and serve until drained. Returns 0 after a clean drain in
+  /// which every accepted request was answered. \p wake_fd (-1 = none)
+  /// is polled alongside the listener; when it becomes readable —
+  /// util::signal_wake_fd() after SIGTERM — the server starts its drain.
+  int serve_forever(int wake_fd = -1);
+
+  /// Begin the graceful drain (idempotent, callable from any thread —
+  /// including the CancelToken path of a signal handler via wake_fd).
+  void request_drain();
+
+  /// True once request_drain() was called (or a wake fired).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+  runtime::CacheStats cache_stats() const { return cache_.stats(); }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Current admitted-but-unfinished heavy jobs (test observability).
+  int load() const { return load_.load(std::memory_order_relaxed); }
+
+private:
+  struct Connection;
+
+  void accept_loop(int wake_fd);
+  void handle_connection(Connection* conn);
+  /// Serve one parsed request on \p conn; returns the response payload.
+  std::string dispatch(Connection& conn, const Request& req);
+
+  std::string run_estimate(const Request& req, bool degraded);
+  std::string run_synthesize(Connection& conn, const Request& req);
+  std::string run_simulate(Connection& conn, const Request& req);
+  std::string stats_response(const Request& req) const;
+
+  /// Admission decision for one heavy request; increments load_ when
+  /// admitted. Mode of service under the current load.
+  enum class Admission { Full, Degraded, Shed };
+  Admission admit_heavy();
+
+  void close_listener();
+  void begin_connection_shutdown();  ///< half-close every live connection
+  void reap_finished_connections(bool join_all);
+
+  est::Process proc_;
+  ServeOptions options_;
+  int listen_fd_ = -1;
+
+  runtime::EstimateCache cache_;
+  runtime::QuarantineRegistry quarantine_;
+  std::unique_ptr<runtime::Executor> executor_;
+  CancelToken drain_cancel_;  ///< fires after the drain grace expires
+
+  std::atomic<bool> draining_{false};
+  std::atomic<int> load_{0};
+  std::atomic<uint64_t> request_ordinal_{0};
+
+  mutable std::mutex mu_;  ///< guards stats_ and connections_
+  ServerStats stats_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace ape::serve

@@ -1,0 +1,60 @@
+#include "src/util/signal.h"
+
+#include <csignal>
+#include <cstdint>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace ape::util {
+namespace {
+
+std::atomic<CancelToken*> g_token{nullptr};
+std::atomic<int> g_last_signal{0};
+int g_wake_pipe[2] = {-1, -1};
+
+extern "C" void handle_cancel_signal(int signum) {
+  // Re-delivery escalates: restore the default disposition so a second
+  // SIGINT/SIGTERM kills the process even if the drain is stuck.
+  std::signal(signum, SIG_DFL);
+  g_last_signal.store(signum, std::memory_order_relaxed);
+  if (CancelToken* token = g_token.load(std::memory_order_relaxed)) {
+    token->cancel();  // lock-free atomic store: async-signal-safe
+  }
+  if (g_wake_pipe[1] >= 0) {
+    const char byte = 1;
+    // A full pipe just means wake-ups are already pending.
+    [[maybe_unused]] ssize_t n = write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_cancel_on_signal(CancelToken& token) {
+  g_token.store(&token, std::memory_order_relaxed);
+  if (g_wake_pipe[0] < 0) {
+    if (pipe(g_wake_pipe) == 0) {
+      for (int fd : g_wake_pipe) {
+        fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        fcntl(fd, F_SETFD, FD_CLOEXEC);
+      }
+    } else {
+      g_wake_pipe[0] = g_wake_pipe[1] = -1;  // degrade to token-only
+    }
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = handle_cancel_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked accept/read calls return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+int signal_wake_fd() { return g_wake_pipe[0]; }
+
+int last_signal() { return g_last_signal.load(std::memory_order_relaxed); }
+
+}  // namespace ape::util

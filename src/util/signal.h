@@ -1,0 +1,45 @@
+#pragma once
+/// \file signal.h
+/// Process-signal to CancelToken plumbing (DESIGN.md sections 10-11):
+/// the one place in the codebase that touches sigaction, so every
+/// long-running entry point (ape_batch, the ape_serve daemon) shares the
+/// same delivery discipline.
+///
+/// install_cancel_on_signal() registers handlers for SIGINT and SIGTERM
+/// that do exactly three async-signal-safe things:
+///
+///  1. fire the registered CancelToken (a lock-free atomic store), so
+///     every cooperative budget poll site in the solvers doubles as a
+///     shutdown point;
+///  2. record the signal number (async-signal-safe atomic store) for the
+///     caller's exit diagnostics;
+///  3. write one byte to a self-pipe, so a poll()-based accept loop
+///     blocked in the kernel wakes immediately instead of at its next
+///     timeout.
+///
+/// A second delivery of the same signal restores the default disposition
+/// first, so a stuck drain can always be killed the classic way (two
+/// Ctrl-C). Installation is idempotent and process-wide; the registered
+/// token must outlive the process' signal handling (in practice: main()
+/// scope). SIGPIPE is set to SIG_IGN by install_cancel_on_signal() —
+/// both the daemon and the client treat write-to-closed-peer as an
+/// ordinary EPIPE error return, never a process kill.
+
+#include "src/util/diagnostics.h"
+
+namespace ape::util {
+
+/// Install SIGINT/SIGTERM handlers that fire \p token (not owned; must
+/// outlive signal delivery) and ignore SIGPIPE. Idempotent; replaces the
+/// token on repeat calls.
+void install_cancel_on_signal(CancelToken& token);
+
+/// Read end of the self-pipe written on each delivery (-1 before
+/// install_cancel_on_signal). poll() it alongside listening sockets;
+/// drain it with read() after wakeup.
+int signal_wake_fd();
+
+/// The last delivered signal number (0 when none since install).
+int last_signal();
+
+}  // namespace ape::util

@@ -134,6 +134,100 @@ TEST(RuntimeCache, TransientFillFailureReleasesTheSlot) {
   EXPECT_EQ(computes, 2);
 }
 
+TEST(RuntimeCache, LruBoundEvictsOldestCompletedEntry) {
+  MemoCache<int> cache(2);
+  int computes = 0;
+  auto compute = [&] { return ++computes; };
+  cache.get_or_compute("a", compute);
+  cache.get_or_compute("b", compute);
+  cache.get_or_compute("c", compute);  // bound 2 -> "a" (LRU) evicted
+  auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2);
+  // "b" is still resident; touching it makes "c" the LRU...
+  EXPECT_EQ(computes, 3);
+  cache.get_or_compute("b", compute);
+  EXPECT_EQ(computes, 3);  // hit
+  cache.get_or_compute("d", compute);  // ...so "d" evicts "c", not "b"
+  cache.get_or_compute("b", compute);
+  EXPECT_EQ(computes, 4);  // "b" survived both evictions
+  // "a" was evicted: requesting it recomputes.
+  cache.get_or_compute("a", compute);
+  EXPECT_EQ(computes, 5);
+}
+
+TEST(RuntimeCache, EvictedValueSurvivesThroughHeldSharedPtr) {
+  MemoCache<int> cache(1);
+  auto held = cache.get_or_compute("old", [] { return 11; });
+  cache.get_or_compute("new", [] { return 22; });  // evicts "old" from the map
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(*held, 11);  // the map forgot it; the holder did not
+}
+
+TEST(RuntimeCache, InFlightFillIsNeverEvicted) {
+  // A capacity-1 cache whose first fill *itself* inserts two more keys:
+  // while "outer" is mid-fill it must be skipped by the eviction walk
+  // (waiters block on its fill mutex), so the completed inner entries
+  // are the only eviction candidates.
+  MemoCache<int> cache(1);
+  auto outer = cache.get_or_compute("outer", [&] {
+    cache.get_or_compute("inner1", [] { return 1; });
+    cache.get_or_compute("inner2", [] { return 2; });  // evicts inner1
+    return 3;
+  });
+  EXPECT_EQ(*outer, 3);
+  const auto s = cache.stats();
+  EXPECT_GE(s.evictions, 2);  // inner1 then inner2 (outer's finish trims)
+  EXPECT_EQ(s.entries, 1);
+  // The survivor is "outer" itself — the in-flight entry the walk skipped.
+  int computes = 0;
+  EXPECT_EQ(*cache.get_or_compute("outer", [&] { return ++computes; }), 3);
+  EXPECT_EQ(computes, 0);
+}
+
+TEST(RuntimeCache, SetCapacityTrimsImmediately) {
+  EstimateCache cache;  // unbounded
+  OpAmpSpec s;
+  s.gain = 150.0;
+  s.ugf_hz = 3e6;
+  for (int i = 0; i < 4; ++i) {
+    OpAmpSpec si = s;
+    si.gain += double(i);
+    cache.opamp(proc(), si);
+  }
+  EXPECT_EQ(cache.stats().entries, 4);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  cache.set_capacity_per_level(2);
+  auto cs = cache.stats();
+  EXPECT_EQ(cs.entries, 2);
+  EXPECT_EQ(cs.evictions, 2);
+  // The two most recently used (gain+2, gain+3) survived.
+  OpAmpSpec recent = s;
+  recent.gain += 3.0;
+  cache.opamp(proc(), recent);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(RuntimeCache, BoundedConcurrentChurnStaysWithinCapacity) {
+  // TSan-relevant: concurrent fills + evictions on a small bound. The
+  // bound only holds for *completed* entries, so the final occupancy may
+  // exceed capacity transiently mid-run but must settle within it.
+  MemoCache<int> cache(4);
+  Executor pool(8);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 256; ++i) {
+    futures.push_back(pool.submit([&cache, i] {
+      return *cache.get_or_compute("k" + std::to_string(i % 16),
+                                   [i] { return i; });
+    }));
+  }
+  for (auto& f : futures) f.get();
+  const auto s = cache.stats();
+  EXPECT_LE(s.entries, 4);
+  EXPECT_EQ(s.hits + s.misses, 256);
+  EXPECT_GE(s.evictions, s.misses - 4);  // every excess fill was evicted
+}
+
 TEST(RuntimeCache, EstimateCacheKeysSeparateSpecs) {
   EstimateCache cache;
   OpAmpSpec a;
