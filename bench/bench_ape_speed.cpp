@@ -208,6 +208,41 @@ int run_batch_comparison() {
   const auto pooled =
       runtime::run_opamp_batch(proc(), specs, batch_options(hw, &pooled_cache));
 
+  // Per-core scaling curve: the same batch at 1, 2, 4, ... hw threads
+  // (endpoints reuse the serial / pooled runs above). The curve is the
+  // trajectory's answer to "where does the pool stop paying for itself"
+  // — check_bench gates only the endpoints, the curve is informational.
+  std::vector<int> curve_threads{1};
+  for (int t = 2; t < hw; t *= 2) curve_threads.push_back(t);
+  if (hw > 1) curve_threads.push_back(hw);
+  std::string scaling = "[";
+  for (size_t i = 0; i < curve_threads.size(); ++i) {
+    const int t = curve_threads[i];
+    double wall, jps;
+    if (t == 1) {
+      wall = serial.stats.wall_seconds;
+      jps = serial.stats.jobs_per_second;
+    } else if (t == hw) {
+      wall = pooled.stats.wall_seconds;
+      jps = pooled.stats.jobs_per_second;
+    } else {
+      runtime::EstimateCache cache;
+      const auto r =
+          runtime::run_opamp_batch(proc(), specs, batch_options(t, &cache));
+      wall = r.stats.wall_seconds;
+      jps = r.stats.jobs_per_second;
+    }
+    std::printf("scaling: %2d threads -> %.2f s (%.2f jobs/s)\n", t, wall, jps);
+    char point[128];
+    std::snprintf(point, sizeof point,
+                  "{\"threads\": %d, \"wall_seconds\": %.6f, "
+                  "\"jobs_per_second\": %.3f}",
+                  t, wall, jps);
+    if (i != 0) scaling += ", ";
+    scaling += point;
+  }
+  scaling += "]";
+
   bool identical = serial.jobs.size() == pooled.jobs.size();
   for (size_t i = 0; identical && i < serial.jobs.size(); ++i) {
     identical = serial.jobs[i].ok == pooled.jobs[i].ok &&
@@ -244,7 +279,7 @@ int run_batch_comparison() {
   std::printf("estimate path: %.1f us/opamp (single thread)\n", est_us);
   std::printf("%s\n", ks.summary().c_str());
 
-  char json[2048];
+  char json[4096];
   std::snprintf(
       json, sizeof json,
       "{\n"
@@ -262,6 +297,7 @@ int run_batch_comparison() {
       "  \"cache_misses\": %ld,\n"
       "  \"cache_hit_rate\": %.4f,\n"
       "  \"estimate_path_us\": %.2f,\n"
+      "  \"scaling\": %s,\n"
       "  \"kernel\": {\n"
       "    \"baseline_builds\": %ld,\n"
       "    \"baseline_restores\": %ld,\n"
@@ -280,7 +316,8 @@ int run_batch_comparison() {
       speedup_valid ? "true" : "false", identical ? "true" : "false",
       pooled.stats.failed,
       pooled.stats.cache.hits, pooled.stats.cache.misses,
-      pooled.stats.cache.hit_rate(), est_us, ks.baseline_builds,
+      pooled.stats.cache.hit_rate(), est_us, scaling.c_str(),
+      ks.baseline_builds,
       ks.baseline_restores, ks.linear_stamps_skipped, ks.nonlinear_stamps,
       ks.factorizations, ks.solves, ks.ac_points_fused, ks.ac_points_virtual,
       ks.workspace_bytes, ks.workspace_regrowths);

@@ -1,0 +1,139 @@
+/// Corner-sweep / Monte-Carlo throughput bench -> BENCH_corners.json.
+///
+/// Drives the ten Table-1 specs through runtime::run_monte_carlo over
+/// the full 7-corner set and records the three numbers the stat
+/// subsystem's trajectory cares about:
+///
+///  - grid throughput (points/s) and the per-thread scaling curve
+///    (1, 2, 4, ... hardware threads) — the sweep grid is
+///    embarrassingly parallel, so this curve is the purest view of the
+///    Executor's overhead;
+///  - cache sharing across corners: every duplicate (spec, corner)
+///    re-estimate after the first is a hit on the shared EstimateCache,
+///    so hit_rate > 0 is a structural property of the sweep, not luck;
+///  - the determinism check: the 1-thread and N-thread aggregate
+///    YieldReports must serialize bit-identically (exit 1 when not —
+///    the bench doubles as an acceptance gate).
+///
+/// Estimate-only phase A (no synthesis): the bench isolates the sweep
+/// machinery itself, the anneal has its own bench in bench_ape_speed.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/runtime/sweep.h"
+#include "src/stat/corners.h"
+
+using namespace ape;
+
+namespace {
+
+runtime::SweepOptions sweep_options(int threads, int mc_samples,
+                                    runtime::EstimateCache* cache) {
+  runtime::SweepOptions o;
+  o.supervisor.batch.threads = threads;
+  o.supervisor.batch.seed = 42;
+  o.supervisor.batch.cache = cache;
+  o.corners = stat::CornerSet::all();
+  o.mc_samples = mc_samples;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const auto rows = bench::table1_specs();
+  std::vector<est::OpAmpSpec> specs;
+  for (const auto& row : rows) specs.push_back(bench::to_spec(row));
+  const est::Process proc = est::Process::default_1u2();
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int mc = 32;
+
+  std::printf("-- corner sweep: %zu specs x 7 corners x %d samples --\n",
+              specs.size(), mc);
+
+  std::vector<int> curve_threads{1};
+  for (int t = 2; t < hw; t *= 2) curve_threads.push_back(t);
+  if (hw > 1) curve_threads.push_back(hw);
+
+  std::string scaling = "[";
+  std::string serial_report, final_report;
+  double serial_wall = 0.0, final_wall = 0.0;
+  long points = 0;
+  runtime::CacheStats final_cache;
+  for (size_t i = 0; i < curve_threads.size(); ++i) {
+    const int t = curve_threads[i];
+    runtime::EstimateCache cache;
+    const auto t0 = std::chrono::steady_clock::now();
+    const runtime::SweepResult r =
+        runtime::run_monte_carlo(proc, specs, sweep_options(t, mc, &cache));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    points = r.aggregate.total.samples;
+    const double pps = wall > 0.0 ? double(points) / wall : 0.0;
+    if (t == 1) {
+      serial_report = r.aggregate.to_json();
+      serial_wall = wall;
+    }
+    if (i + 1 == curve_threads.size()) {
+      final_report = r.aggregate.to_json();
+      final_wall = wall;
+      final_cache = r.stats.cache;
+    }
+    std::printf("scaling: %2d threads -> %.3f s (%.0f points/s)\n", t, wall,
+                pps);
+    char point[128];
+    std::snprintf(point, sizeof point,
+                  "{\"threads\": %d, \"wall_seconds\": %.6f, "
+                  "\"points_per_second\": %.1f}",
+                  t, wall, pps);
+    if (i != 0) scaling += ", ";
+    scaling += point;
+  }
+  scaling += "]";
+
+  const bool identical = serial_report == final_report;
+  std::printf("deterministic match (1 vs %d threads): %s\n", hw,
+              identical ? "yes" : "NO");
+  std::printf("cache: %ld hits / %ld misses (rate %.3f)\n", final_cache.hits,
+              final_cache.misses, final_cache.hit_rate());
+  const double speedup = final_wall > 0.0 ? serial_wall / final_wall : 0.0;
+
+  char json[4096];
+  std::snprintf(json, sizeof json,
+                "{\n"
+                "  \"specs\": %zu,\n"
+                "  \"corners\": 7,\n"
+                "  \"mc_samples\": %d,\n"
+                "  \"grid_points\": %ld,\n"
+                "  \"hardware_threads\": %d,\n"
+                "  \"serial_seconds\": %.6f,\n"
+                "  \"pooled_seconds\": %.6f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"parallel_speedup_valid\": %s,\n"
+                "  \"deterministic_match\": %s,\n"
+                "  \"cache_hits\": %ld,\n"
+                "  \"cache_misses\": %ld,\n"
+                "  \"cache_hit_rate\": %.4f,\n"
+                "  \"scaling\": %s,\n"
+                "  \"aggregate\": %s\n"
+                "}\n",
+                specs.size(), mc, points, hw, serial_wall, final_wall, speedup,
+                hw > 1 ? "true" : "false", identical ? "true" : "false",
+                final_cache.hits, final_cache.misses, final_cache.hit_rate(),
+                scaling.c_str(), final_report.c_str());
+  const char* path = "BENCH_corners.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  return identical ? 0 : 1;
+}

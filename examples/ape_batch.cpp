@@ -11,6 +11,17 @@
 ///   ape_batch --timeout-ms 500 --retries 2 specs.txt   # supervised run
 ///   ape_batch --checkpoint run.ckpt specs.txt          # checkpointed run
 ///   ape_batch --resume run.ckpt --checkpoint run.ckpt specs.txt
+///   ape_batch --corners all --mc-samples 64 --yield    # PVT + MC yield
+///
+/// Corner sweeps (DESIGN.md §12): any of --corners/--mc-samples/--yield
+/// switches to sweep mode — each spec's nominal design (the APE
+/// estimate by default; --synthesize for a full supervised synthesis
+/// pass, which also honours --timeout-ms/--retries/--checkpoint/
+/// --resume) is evaluated across the selected PVT corners and, with
+/// --mc-samples N, across N Pelgrom mismatch draws per corner, and the
+/// per-job + pooled YieldReports (pass rates, worst corner, Wilson CI)
+/// are emitted. --yield-weight W adds the worst-corner cost term to the
+/// annealer in any synthesis mode.
 ///
 /// Synthesis batches run under the supervised runtime (DESIGN.md §10):
 /// --timeout-ms bounds each job's wall clock, --retries configures the
@@ -40,6 +51,8 @@
 #include "src/runtime/batch.h"
 #include "src/runtime/cache.h"
 #include "src/runtime/supervisor.h"
+#include "src/runtime/sweep.h"
+#include "src/stat/corners.h"
 #include "src/util/error.h"
 #include "src/util/signal.h"
 
@@ -185,6 +198,11 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   int checkpoint_every = 1;
   std::string resume_path;
+  std::string corners_sel;       // --corners (empty = no sweep)
+  int mc_samples = 0;            // --mc-samples
+  bool yield_flag = false;       // --yield (sweep with default corners)
+  bool sweep_synthesize = false; // --synthesize (sweep nominal pass)
+  double yield_weight = 0.0;     // --yield-weight (annealer corner term)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,6 +234,16 @@ int main(int argc, char** argv) {
       checkpoint_every = std::atoi(next().c_str());
     } else if (arg == "--resume") {
       resume_path = next();
+    } else if (arg == "--corners") {
+      corners_sel = next();
+    } else if (arg == "--mc-samples") {
+      mc_samples = std::atoi(next().c_str());
+    } else if (arg == "--yield") {
+      yield_flag = true;
+    } else if (arg == "--synthesize") {
+      sweep_synthesize = true;
+    } else if (arg == "--yield-weight") {
+      yield_weight = std::atof(next().c_str());
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -224,7 +252,10 @@ int main(int argc, char** argv) {
           "                 [--restarts M] [--blind] [--estimate-only]\n"
           "                 [--timeout-ms T] [--retries N] [--quarantine N]\n"
           "                 [--checkpoint FILE] [--checkpoint-every N]\n"
-          "                 [--resume FILE] [--out FILE] [specfile]\n");
+          "                 [--resume FILE]\n"
+          "                 [--corners all|tm,ws,...] [--mc-samples N]\n"
+          "                 [--yield] [--synthesize] [--yield-weight W]\n"
+          "                 [--out FILE] [specfile]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       die("unknown option '" + arg + "' (see --help)");
@@ -246,6 +277,130 @@ int main(int argc, char** argv) {
   const est::Process proc = est::Process::default_1u2();
   runtime::EstimateCache cache;
   options.cache = &cache;
+
+  const bool sweep_mode = !corners_sel.empty() || mc_samples > 0 || yield_flag;
+  stat::CornerSet corner_set;
+  if (sweep_mode || yield_weight > 0.0) {
+    try {
+      corner_set =
+          stat::CornerSet::parse(corners_sel.empty() ? "all" : corners_sel);
+    } catch (const Error& e) {
+      die(e.what());
+    }
+  }
+  if (yield_weight > 0.0) {
+    // Worst-corner cost term in the annealer (any synthesis mode).
+    options.synth.yield_weight = yield_weight;
+    options.synth.corner_procs = corner_set.realize(proc);
+  }
+
+  if (sweep_mode) {
+    if (estimate_only && sweep_synthesize) {
+      die("--estimate-only and --synthesize conflict");
+    }
+    if (!sweep_synthesize && (!checkpoint_path.empty() || !resume_path.empty())) {
+      die("--checkpoint/--resume in sweep mode require --synthesize");
+    }
+    runtime::SweepOptions sw;
+    sw.supervisor.batch = options;
+    sw.supervisor.job_timeout_s = timeout_ms / 1000.0;
+    if (retries > 0) {
+      sw.supervisor.retry.plain_retries = retries;
+      sw.supervisor.retry.relaxed_retries = 1;
+      sw.supervisor.retry.estimate_fallback = true;
+    }
+    runtime::QuarantineRegistry sweep_quarantine;
+    if (quarantine_threshold > 0) {
+      sw.supervisor.quarantine = &sweep_quarantine;
+      sw.supervisor.quarantine_threshold = quarantine_threshold;
+    }
+    sw.supervisor.checkpoint_path = checkpoint_path;
+    sw.supervisor.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
+    sw.supervisor.resume_path = resume_path;
+    static CancelToken sweep_interrupt;
+    util::install_cancel_on_signal(sweep_interrupt);
+    sw.supervisor.cancel = &sweep_interrupt;
+    sw.corners = corner_set;
+    sw.mc_samples = mc_samples;
+    sw.synthesize = sweep_synthesize;
+
+    runtime::SweepResult r;
+    try {
+      r = mc_samples > 0 ? runtime::run_monte_carlo(proc, specs, sw)
+                         : runtime::run_corner_sweep(proc, specs, sw);
+    } catch (const Error& e) {
+      die(e.what());
+    }
+
+    std::string json = "{\"config\":{";
+    put_kv(json, "jobs", double(specs.size()));
+    put_kv(json, "seed", double(options.seed));
+    put_kv(json, "mc_samples", double(r.samples_per_corner));
+    json += "\"corners\":\"" + json_escape(sw.corners.names()) + "\",";
+    json += std::string("\"mode\":\"") +
+            (sweep_synthesize ? "sweep-synthesize" : "sweep-estimate") +
+            "\"},\n\"jobs\":[\n";
+    for (size_t i = 0; i < r.jobs.size(); ++i) {
+      const auto& j = r.jobs[i];
+      json += "{\"name\":\"" + json_escape(named[i].name) + "\",";
+      put_kv(json, "index", double(j.index));
+      if (j.ok) {
+        const auto ci = j.report.ci();
+        json += "\"ok\":true,";
+        put_kv(json, "yield", j.report.yield());
+        put_kv(json, "ci_lo", ci.lo);
+        put_kv(json, "ci_hi", ci.hi);
+        put_kv(json, "samples", double(j.report.total.samples));
+        put_kv(json, "passes", double(j.report.total.pass));
+        json += "\"worst_corner\":\"" +
+                json_escape(j.report.worst_corner_name()) + "\",";
+        std::string feasible;
+        for (uint8_t ok : j.corner_estimate_ok) feasible += ok ? '1' : '0';
+        json += "\"corner_estimate_ok\":\"" + feasible + "\",";
+        json += "\"report\":" + j.report.to_json();
+      } else {
+        json += "\"ok\":false,\"error\":\"" + json_escape(j.error) + "\"";
+      }
+      json += i + 1 < r.jobs.size() ? "},\n" : "}\n";
+    }
+    json += "],\n\"aggregate\":{";
+    const auto ci = r.aggregate.ci();
+    put_kv(json, "jobs", double(r.stats.jobs));
+    put_kv(json, "failed", double(r.stats.failed));
+    put_kv(json, "met_spec", double(r.stats.met_spec));
+    put_kv(json, "threads", double(r.stats.threads));
+    put_kv(json, "wall_seconds", r.stats.wall_seconds);
+    put_kv(json, "jobs_per_second", r.stats.jobs_per_second);
+    put_kv(json, "cache_hits", double(r.stats.cache.hits));
+    put_kv(json, "cache_misses", double(r.stats.cache.misses));
+    put_kv(json, "cache_hit_rate", r.stats.cache.hit_rate());
+    put_kv(json, "yield", r.aggregate.yield());
+    put_kv(json, "ci_lo", ci.lo);
+    put_kv(json, "ci_hi", ci.hi);
+    put_kv(json, "yield_samples", double(r.aggregate.total.samples));
+    put_kv(json, "yield_passes", double(r.aggregate.total.pass));
+    json += "\"worst_corner\":\"" +
+            json_escape(r.aggregate.worst_corner_name()) + "\",";
+    put_kv(json, "samples_per_corner", double(r.samples_per_corner));
+    put_kv(json, "cancelled_jobs", double(r.supervision.cancelled_jobs));
+    put_kv(json, "resumed_jobs", double(r.supervision.resumed_jobs), false);
+    json += "}}\n";
+
+    if (out_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) die("cannot write '" + out_path + "'");
+      out << json;
+      std::fprintf(stderr,
+                   "ape_batch: wrote %s (%d jobs x %zu corners x %d samples, "
+                   "yield %.1f%%)\n",
+                   out_path.c_str(), r.stats.jobs, sw.corners.size(),
+                   r.samples_per_corner, 100.0 * r.aggregate.yield());
+    }
+    if (util::last_signal() != 0) return 130;
+    return r.stats.failed == 0 ? 0 : 1;
+  }
 
   std::string json = "{\"config\":{";
   put_kv(json, "jobs", double(specs.size()));

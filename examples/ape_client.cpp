@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   int iterations = 0;
   uint64_t seed = 0;
   int repeat = 1;
+  std::string corners;
+  int mc_samples = 0;
   ape::est::OpAmpSpec spec;
   bool spec_set = false;
 
@@ -79,12 +81,17 @@ int main(int argc, char** argv) {
       spec_set = true;
     } else if (arg == "--netlist") {
       netlist_path = next();
+    } else if (arg == "--corners") {
+      corners = next();
+    } else if (arg == "--mc-samples") {
+      mc_samples = std::atoi(next().c_str());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ape_client --socket PATH [--op ping|estimate|synthesize|"
-          "simulate|stats]\n"
+          "simulate|corner_sweep|stats]\n"
           "                  [--id ID] [--timeout-ms T] [--iters N] [--seed S]\n"
           "                  [--gain X] [--ugf HZ] [--ibias A] [--cload F]\n"
+          "                  [--corners SEL] [--mc-samples N]\n"
           "                  [--netlist FILE] [--json REQUEST] [--repeat N]\n");
       return 0;
     } else {
@@ -105,6 +112,10 @@ int main(int argc, char** argv) {
     if (iterations > 0) request += ",\"iterations\":" + std::to_string(iterations);
     if (seed != 0) request += ",\"seed\":" + std::to_string(seed);
     if (spec_set) request += ",\"spec\":" + ape::serve::spec_to_json(spec);
+    if (!corners.empty()) {
+      request += ",\"corners\":\"" + ape::json::escape(corners) + "\"";
+    }
+    if (mc_samples > 0) request += ",\"mc_samples\":" + std::to_string(mc_samples);
     if (!netlist_path.empty()) {
       std::ifstream in(netlist_path);
       if (!in) die("cannot read netlist '" + netlist_path + "'");

@@ -84,6 +84,43 @@ Process Process::default_1u2_bsim() {
   return p;
 }
 
+void perturb_card(spice::MosModelCard& card, double dvth, double kp_scale) {
+  const bool pmos = card.type == spice::MosType::Pmos;
+  if (card.level == 4) {
+    // LEVEL 4 derives beta from MUZ and the threshold from
+    // VFB + PHI + K1 sqrt(PHI); the PMOS card stores VFB negated (see
+    // default_1u2_bsim), so a magnitude-frame |Vth| shift is a negative
+    // VFB shift there.
+    card.vfb += pmos ? -dvth : dvth;
+    card.muz *= kp_scale;
+  } else {
+    card.vto += pmos ? -dvth : dvth;
+    card.kp *= kp_scale;
+  }
+}
+
+Process Process::corner(const CornerDelta& d) const {
+  // Temperature scaling is always relative to the nominal 27 C the card
+  // values describe, not to the base process's temp_c — corners derive
+  // from nominal cards, they do not compose.
+  constexpr double kTnomC = 27.0;
+  constexpr double kVthTempCoeff = 2.0e-3;  // d|Vth|/dT [V/K], sign: drops hot
+  const double t_k = d.temp_c + 273.15;
+  const double tnom_k = kTnomC + 273.15;
+  if (t_k <= 0.0) {
+    throw SpecError("Process::corner: temperature below absolute zero");
+  }
+  const double mobility = std::pow(t_k / tnom_k, -1.5);
+  const double dvth_temp = -kVthTempCoeff * (d.temp_c - kTnomC);
+  Process out = *this;
+  perturb_card(out.nmos, d.nmos_dvth + dvth_temp, d.nmos_kp_scale * mobility);
+  perturb_card(out.pmos, d.pmos_dvth + dvth_temp, d.pmos_kp_scale * mobility);
+  out.vdd = vdd * d.vdd_scale;
+  out.temp_c = d.temp_c;
+  out.variant = variant.empty() ? d.name : variant + "/" + d.name;
+  return out;
+}
+
 Process Process::from_cards(spice::MosModelCard n, spice::MosModelCard p,
                             double vdd) {
   if (n.type != spice::MosType::Nmos || p.type != spice::MosType::Pmos) {

@@ -11,6 +11,31 @@
 
 namespace ape::est {
 
+/// A PVT corner recipe: device-skew deltas plus supply and temperature
+/// conditions, applied to a base Process by Process::corner(). The
+/// threshold deltas are expressed in the *magnitude* frame (a positive
+/// dvth makes the device harder to turn on for both polarities); K'
+/// scales are multiplicative. Temperature effects are baked into the
+/// derived cards with the standard first-order laws: mobility (and
+/// hence K') scales as (T/Tnom)^-1.5 and |Vth| drops ~2 mV/K above
+/// Tnom = 27 C (see DESIGN.md section 12).
+struct CornerDelta {
+  std::string name = "tm";   ///< corner id, folded into Process::variant
+  double nmos_dvth = 0.0;    ///< added to |Vth| of the NMOS card [V]
+  double pmos_dvth = 0.0;    ///< added to |Vth| of the PMOS card [V]
+  double nmos_kp_scale = 1.0;  ///< multiplies NMOS K' (and BSIM MUZ)
+  double pmos_kp_scale = 1.0;  ///< multiplies PMOS K' (and BSIM MUZ)
+  double vdd_scale = 1.0;    ///< multiplies the positive supply
+  double temp_c = 27.0;      ///< junction temperature [Celsius]
+};
+
+/// Shift one model card in the magnitude frame: |Vth| += dvth (sign-aware
+/// for PMOS, and via VFB for BSIM/LEVEL 4 cards where VTO is unused) and
+/// K' *= kp_scale (via MUZ for LEVEL 4). Shared by corner derivation and
+/// Monte-Carlo mismatch sampling (src/stat/mismatch.h) so both perturb
+/// cards identically.
+void perturb_card(spice::MosModelCard& card, double dvth, double kp_scale);
+
 /// A CMOS process: one NMOS and one PMOS card plus design limits.
 struct Process {
   std::string name = "generic";
@@ -21,6 +46,17 @@ struct Process {
   double lmin = 1.2e-6;  ///< minimum drawn channel length [m]
   double wmin = 2.0e-6;  ///< minimum drawn width [m]
   double wmax = 2.0e-3;  ///< maximum practical width [m]
+  /// Junction temperature the cards describe [Celsius]. Corner/mismatch
+  /// derivation *bakes* temperature scaling into the card values; this
+  /// field records the condition so cache keys and fingerprints
+  /// distinguish otherwise-identical cards (see runtime/cache.cpp).
+  double temp_c = 27.0;
+  /// Scenario identity: "" for the nominal card set, else the corner id
+  /// ("ws", "wp", ...) optionally suffixed with a Monte-Carlo sample tag
+  /// ("ws/mc17"). Part of the cache/quarantine fingerprint so derived
+  /// processes never collide with the nominal one even when a zero-width
+  /// perturbation leaves every numeric field unchanged.
+  std::string variant;
 
   /// Model card for a device type.
   const spice::MosModelCard& card(spice::MosType t) const {
@@ -46,6 +82,14 @@ struct Process {
   /// Build a process from two parsed .model cards.
   static Process from_cards(spice::MosModelCard n, spice::MosModelCard p,
                             double vdd = 5.0);
+
+  /// Derive the PVT-corner process described by \p d: skew deltas and
+  /// temperature scaling baked into fresh card copies, vdd scaled,
+  /// temp_c/variant stamped. Pure — the base process is untouched — and
+  /// an all-defaults CornerDelta changes only temp-neutral identity
+  /// fields (variant), which is exactly what the cache-key regression
+  /// test relies on.
+  Process corner(const CornerDelta& d) const;
 };
 
 }  // namespace ape::est

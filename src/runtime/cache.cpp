@@ -35,6 +35,15 @@ std::string process_key(const est::Process& proc) {
   key.reserve(512);
   key += proc.name;
   key += '|';
+  // Scenario identity: the corner / Monte-Carlo variant tag and the
+  // temperature condition. Without these, a zero-width perturbation (or
+  // a corner whose numeric deltas happen to cancel) would collide with
+  // the nominal process in the cache AND in quarantine/checkpoint
+  // fingerprints, which hash this same key (supervisor.h).
+  key += proc.variant;
+  key += '|';
+  put(key, proc.temp_c);
+  key += '|';
   put(key, proc.nmos);
   key += '|';
   put(key, proc.pmos);

@@ -1,0 +1,274 @@
+#include "src/runtime/sweep.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "src/lint/lint.h"
+#include "src/runtime/executor.h"
+#include "src/synth/sizing.h"
+#include "src/util/diagnostics.h"
+#include "src/util/error.h"
+#include "src/util/stream_ids.h"
+
+namespace ape::runtime {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+/// Pass criteria of one evaluation point: the same 0.9x acceptance band
+/// the synthesis diagnosis uses for gain/UGF, plus the classic 45-degree
+/// stability floor (informational, see stat::PointOutcome).
+constexpr double kPassBand = 0.9;
+constexpr double kMinPhaseMargin = 45.0;
+
+stat::PointOutcome check_point(const est::Process& p, const synth::OpAmpVars& v,
+                               const est::OpAmpSpec& spec) {
+  stat::PointOutcome o;
+  try {
+    const synth::OpAmpEval e =
+        synth::evaluate_opamp_vars(p, v, spec.ibias, spec.cload);
+    o.evaluated = true;
+    o.functional = e.functional;
+    o.gain_ok = e.gain >= kPassBand * spec.gain;
+    o.ugf_ok = e.ugf_hz >= kPassBand * spec.ugf_hz;
+    o.pm_ok = e.phase_margin >= kMinPhaseMargin;
+  } catch (const Error&) {
+    // An unevaluable point is a failed point, not a dead sweep.
+  }
+  return o;
+}
+
+/// One (job, corner) grid cell: the corner re-estimate flag plus every
+/// sample's outcome, computed on one worker and aggregated serially.
+struct Cell {
+  std::vector<stat::PointOutcome> points;
+  uint8_t estimate_ok = 0;
+  bool ran = false;  ///< false when skipped by cancellation
+};
+
+}  // namespace
+
+SweepResult run_corner_sweep(const est::Process& proc,
+                             const std::vector<est::OpAmpSpec>& specs,
+                             const SweepOptions& options) {
+  ErrorContext scope("corner_sweep");
+  const double t0 = now_seconds();
+  const BatchOptions& batch = options.supervisor.batch;
+  const bool mismatch = options.mc_samples > 0;
+  const int samples = std::max(1, options.mc_samples);
+  if (static_cast<uint64_t>(samples) >= (1ULL << streams::kMismatchSampleBits)) {
+    throw SpecError("run_corner_sweep: mc_samples exceeds the stream-id "
+                    "sample field (see stream_ids.h)");
+  }
+  const auto& deltas = options.corners.corners();
+  if (deltas.empty()) {
+    throw SpecError("run_corner_sweep: empty corner set");
+  }
+  std::vector<std::string> corner_names;
+  corner_names.reserve(deltas.size());
+  for (const auto& d : deltas) corner_names.push_back(d.name);
+  const std::vector<est::Process> corner_procs =
+      options.corners.realize(proc);
+  const size_t n_corners = corner_procs.size();
+  const size_t n_jobs = specs.size();
+
+  SweepResult out;
+  out.samples_per_corner = samples;
+  out.jobs.resize(n_jobs);
+  EstimateCache* cache = batch.cache;
+  const CacheStats cache_before = cache != nullptr ? cache->stats() : CacheStats{};
+  const int threads = resolve_threads(batch.threads);
+  const CancelToken* cancel = options.supervisor.cancel;
+
+  // ---- Phase A: one nominal design per spec ----
+  if (options.synthesize) {
+    SupervisedOpAmpBatchResult a =
+        run_supervised_opamp_batch(proc, specs, options.supervisor);
+    out.supervision = a.supervision;
+    for (size_t i = 0; i < n_jobs; ++i) {
+      out.jobs[i].index = i;
+      out.jobs[i].ok = a.jobs[i].ok;
+      out.jobs[i].error = a.jobs[i].error;
+      out.jobs[i].nominal = std::move(a.jobs[i].outcome);
+    }
+  } else {
+    // Estimate-only nominal pass. The estimate is taken at the tm
+    // corner process when the set has one (numerically identical to the
+    // base, but sharing its cache identity with phase B's tm
+    // re-estimate — that shared entry is the guaranteed cross-corner
+    // cache hit of every sweep).
+    const int tm = options.corners.index_of("tm");
+    const est::Process& nominal_proc =
+        tm >= 0 ? corner_procs[static_cast<size_t>(tm)] : proc;
+    const std::string parent = ErrorContext::chain();
+    auto run_nominal = [&](size_t i) {
+      SweepJobResult r;
+      r.index = i;
+      const std::string frame = "sweep_nominal[" + std::to_string(i) + "]";
+      ErrorContext ctx(parent.empty() ? frame : parent + " -> " + frame);
+      try {
+        if (batch.lint_first) {
+          lint::require_clean(lint::lint_spec(specs[i], proc), "lint-first");
+        }
+        if (cache != nullptr) {
+          r.nominal.design = *cache->opamp(nominal_proc, specs[i]);
+        } else {
+          r.nominal.design = est::OpAmpEstimator(nominal_proc).estimate(specs[i]);
+        }
+        r.nominal.functional = true;
+        r.nominal.comment = "APE estimate (sweep nominal)";
+        r.nominal.restarts_run = 0;
+        r.ok = true;
+      } catch (const Error& e) {
+        r.error = e.what();
+      }
+      return r;
+    };
+    if (threads <= 1 || n_jobs <= 1) {
+      for (size_t i = 0; i < n_jobs; ++i) out.jobs[i] = run_nominal(i);
+    } else {
+      Executor pool(static_cast<int>(
+          std::min(static_cast<size_t>(threads), n_jobs)));
+      std::vector<std::future<SweepJobResult>> futures;
+      futures.reserve(n_jobs);
+      for (size_t i = 0; i < n_jobs; ++i) {
+        futures.push_back(pool.submit([&run_nominal, i] { return run_nominal(i); }));
+      }
+      for (size_t i = 0; i < n_jobs; ++i) out.jobs[i] = futures[i].get();
+    }
+  }
+
+  // The fixed evaluation vehicle of every grid point: the nominal
+  // design's unknown vector (pure data, shared read-only across cells).
+  std::vector<synth::OpAmpVars> vars(n_jobs);
+  for (size_t i = 0; i < n_jobs; ++i) {
+    if (out.jobs[i].ok) {
+      vars[i] = synth::vars_from_design(out.jobs[i].nominal.design);
+    }
+  }
+
+  // ---- Phase B: the (job x corner) grid, one cell per Executor task ----
+  std::vector<Cell> cells(n_jobs * n_corners);
+  const std::string parent = ErrorContext::chain();
+  auto run_cell = [&](size_t cell_index) {
+    const size_t i = cell_index / n_corners;
+    const size_t c = cell_index % n_corners;
+    if (!out.jobs[i].ok) return;
+    if (cancel != nullptr && cancel->cancelled()) return;  // cell stays !ran
+    Cell& cell = cells[cell_index];
+    cell.ran = true;
+    const std::string frame = "sweep_cell[" + std::to_string(i) + "," +
+                              corner_names[c] + "]";
+    ErrorContext ctx(parent.empty() ? frame : parent + " -> " + frame);
+    // Can APE still size this spec AT the corner? Shared cache entry —
+    // duplicate specs answer this once per corner for the whole run.
+    try {
+      if (cache != nullptr) {
+        cache->opamp(corner_procs[c], specs[i]);
+      } else {
+        est::OpAmpEstimator(corner_procs[c]).estimate(specs[i]);
+      }
+      cell.estimate_ok = 1;
+    } catch (const Error&) {
+      // Infeasible at this corner: recorded per corner, not fatal.
+    }
+    cell.points.reserve(static_cast<size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+      if (mismatch) {
+        try {
+          const est::Process p = stat::sample_mismatch(
+              corner_procs[c], options.pelgrom, batch.seed, i, c,
+              static_cast<uint64_t>(s));
+          cell.points.push_back(check_point(p, vars[i], specs[i]));
+          continue;
+        } catch (const Error&) {
+          cell.points.push_back(stat::PointOutcome{});  // unevaluable draw
+          continue;
+        }
+      }
+      cell.points.push_back(check_point(corner_procs[c], vars[i], specs[i]));
+    }
+  };
+  const size_t n_cells = cells.size();
+  if (threads <= 1 || n_cells <= 1) {
+    for (size_t k = 0; k < n_cells; ++k) run_cell(k);
+  } else {
+    Executor pool(static_cast<int>(
+        std::min(static_cast<size_t>(threads), n_cells)));
+    std::vector<std::future<void>> futures;
+    futures.reserve(n_cells);
+    for (size_t k = 0; k < n_cells; ++k) {
+      futures.push_back(pool.submit([&run_cell, k] { run_cell(k); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // ---- Aggregation, in (job, corner, sample) index order ----
+  out.aggregate = stat::YieldReport(corner_names);
+  for (size_t i = 0; i < n_jobs; ++i) {
+    SweepJobResult& jr = out.jobs[i];
+    jr.report = stat::YieldReport(corner_names);
+    jr.corner_estimate_ok.assign(n_corners, 0);
+    if (!jr.ok) continue;
+    bool incomplete = false;
+    for (size_t c = 0; c < n_corners; ++c) {
+      const Cell& cell = cells[i * n_corners + c];
+      if (!cell.ran) {
+        incomplete = true;
+        continue;
+      }
+      jr.corner_estimate_ok[c] = cell.estimate_ok;
+      for (const auto& p : cell.points) jr.report.add(c, p);
+    }
+    if (incomplete) {
+      jr.ok = false;
+      jr.error = "cancelled: corner sweep incomplete";
+      continue;
+    }
+    jr.report.finalize();
+    out.aggregate.merge(jr.report);
+  }
+  out.aggregate.finalize();
+
+  BatchStats& s = out.stats;
+  s.jobs = static_cast<int>(n_jobs);
+  s.threads = threads;
+  for (const auto& j : out.jobs) {
+    if (!j.ok) {
+      ++s.failed;
+    } else if (j.report.total.samples > 0 &&
+               j.report.total.pass == j.report.total.samples) {
+      ++s.met_spec;  // passes everywhere on the grid
+    }
+  }
+  s.wall_seconds = now_seconds() - t0;
+  s.jobs_per_second = s.wall_seconds > 0.0 ? s.jobs / s.wall_seconds : 0.0;
+  if (cache != nullptr) {
+    const CacheStats after = cache->stats();
+    s.cache.hits = after.hits - cache_before.hits;
+    s.cache.misses = after.misses - cache_before.misses;
+  }
+  return out;
+}
+
+SweepResult run_monte_carlo(const est::Process& proc,
+                            const std::vector<est::OpAmpSpec>& specs,
+                            const SweepOptions& options) {
+  if (options.mc_samples < 1) {
+    throw SpecError("run_monte_carlo: mc_samples must be >= 1");
+  }
+  return run_corner_sweep(proc, specs, options);
+}
+
+}  // namespace ape::runtime

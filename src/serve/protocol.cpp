@@ -47,6 +47,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::Estimate: return "estimate";
     case RequestKind::Synthesize: return "synthesize";
     case RequestKind::Simulate: return "simulate";
+    case RequestKind::CornerSweep: return "corner_sweep";
     case RequestKind::Stats: return "stats";
     case RequestKind::Ping: return "ping";
   }
@@ -163,6 +164,8 @@ Request parse_request(const std::string& payload) {
     req.kind = RequestKind::Synthesize;
   } else if (kind == "simulate") {
     req.kind = RequestKind::Simulate;
+  } else if (kind == "corner_sweep") {
+    req.kind = RequestKind::CornerSweep;
   } else if (kind == "stats") {
     req.kind = RequestKind::Stats;
   } else if (kind == "ping") {
@@ -184,9 +187,17 @@ Request parse_request(const std::string& payload) {
     req.seed = static_cast<uint64_t>(s->as_number());
   }
 
-  if (req.kind == RequestKind::Estimate || req.kind == RequestKind::Synthesize) {
+  if (req.kind == RequestKind::Estimate || req.kind == RequestKind::Synthesize ||
+      req.kind == RequestKind::CornerSweep) {
     const json::Value* spec = doc.find("spec");
     if (spec != nullptr) req.spec = spec_from_json(*spec);
+  }
+  if (req.kind == RequestKind::CornerSweep) {
+    if (const json::Value* c = doc.find("corners")) req.corners = c->as_string();
+    if (const json::Value* m = doc.find("mc_samples")) {
+      req.mc_samples = static_cast<int>(m->as_long());
+      if (req.mc_samples < 0) throw ParseError("request: negative mc_samples");
+    }
   }
   if (req.kind == RequestKind::Simulate) {
     const json::Value* netlist = doc.find("netlist");

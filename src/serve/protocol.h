@@ -20,8 +20,10 @@
 ///   {"op":"synthesize","id":"r2", "timeout_ms":2000, "iterations":400,
 ///                      "spec":{...}}
 ///   {"op":"simulate",  "id":"r3", "timeout_ms":500, "netlist":"..."}
-///   {"op":"stats",     "id":"r4"}
-///   {"op":"ping",      "id":"r5"}
+///   {"op":"corner_sweep","id":"r4", "spec":{...}, "corners":"all",
+///                      "mc_samples":32}
+///   {"op":"stats",     "id":"r5"}
+///   {"op":"ping",      "id":"r6"}
 ///
 /// "spec" keys mirror the ape_batch spec-file grammar: gain, ugf_hz,
 /// ibias, cload, zout, area_budget, buffer (bool), source
@@ -69,18 +71,27 @@ bool write_frame(int fd, const std::string& payload);
 // ---------------------------------------------------------------------------
 // Request / response model.
 
-enum class RequestKind { Estimate, Synthesize, Simulate, Stats, Ping };
+enum class RequestKind {
+  Estimate,
+  Synthesize,
+  Simulate,
+  CornerSweep,
+  Stats,
+  Ping,
+};
 
 const char* to_string(RequestKind kind);
 
 struct Request {
   RequestKind kind = RequestKind::Ping;
   std::string id;          ///< client echo tag ("" when absent)
-  est::OpAmpSpec spec;     ///< estimate / synthesize payload
+  est::OpAmpSpec spec;     ///< estimate / synthesize / sweep payload
   std::string netlist;     ///< simulate payload (SPICE deck)
   double timeout_ms = 0.0; ///< requested deadline; the server caps it
   int iterations = 0;      ///< synthesize: anneal iterations (server-capped)
-  uint64_t seed = 0;       ///< synthesize: anneal seed (0 = server default)
+  uint64_t seed = 0;       ///< synthesize/sweep: seed (0 = server default)
+  std::string corners;     ///< corner_sweep: selection ("" = "all")
+  int mc_samples = 0;      ///< corner_sweep: MC draws per corner (capped)
 };
 
 /// Parse one request payload. Throws ape::ParseError on malformed JSON,

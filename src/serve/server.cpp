@@ -11,8 +11,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "src/runtime/sweep.h"
 #include "src/spice/analysis.h"
 #include "src/spice/parser.h"
+#include "src/stat/corners.h"
 #include "src/util/error.h"
 
 namespace ape::serve {
@@ -377,6 +379,8 @@ std::string Server::dispatch(Connection& conn, const Request& req) {
       return run_synthesize(conn, req);
     case RequestKind::Simulate:
       return run_simulate(conn, req);
+    case RequestKind::CornerSweep:
+      return run_corner_sweep(conn, req);
     default:
       return error_response(req.id, "unhandled op");
   }
@@ -581,6 +585,106 @@ std::string Server::run_simulate(Connection& conn, const Request& req) {
         json += buf;
       }
       json += "}}";
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed_ok;
+      return json;
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+      if (budget.exhausted() && !budget.cancelled()) ++stats_.deadline_hits;
+      if (budget.cancelled()) ++stats_.cancelled;
+      return error_response(req.id, e.what());
+    }
+  });
+
+  std::string response;
+  try {
+    response = result.get();
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+    }
+    response = error_response(req.id, e.what());
+  }
+  load_.fetch_sub(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::string Server::run_corner_sweep(Connection& conn, const Request& req) {
+  const Admission admission = admit_heavy();
+  if (admission == Admission::Shed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_overload;
+    return shed_response(req.id, "overload");
+  }
+  ++conn.admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.accepted;
+  }
+  // A sweep has no cheap degraded form (its whole point is the grid),
+  // so the queue band queues it like simulate; a long wait sheds.
+  const double deadline_abs =
+      now_seconds() + request_deadline_s(req, options_);
+  const uint64_t ordinal =
+      request_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  std::future<std::string> result = executor_->submit([this, req, deadline_abs,
+                                                       ordinal] {
+    ErrorContext scope("serve[corner_sweep#" + std::to_string(ordinal) + "]");
+    const double remaining = deadline_abs - now_seconds();
+    if (remaining <= 0.002 || drain_cancel_.cancelled()) {
+      const bool draining = drain_cancel_.cancelled();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining) {
+        ++stats_.cancelled;
+        ++stats_.shed_draining;
+      } else {
+        ++stats_.deadline_hits;
+        ++stats_.shed_overload;
+      }
+      return shed_response(req.id, draining ? "draining" : "overload");
+    }
+    RunBudget budget = RunBudget::with_deadline(remaining);
+    budget.attach_cancel(&drain_cancel_);
+    ScopedJobBudget ambient(budget);
+    try {
+      runtime::SweepOptions sweep;
+      // The sweep runs inside this executor slot: its internal fan-out
+      // must not claim more workers or the daemon deadlocks under load.
+      sweep.supervisor.batch.threads = 1;
+      sweep.supervisor.batch.seed = req.seed != 0 ? req.seed : options_.seed;
+      sweep.supervisor.batch.cache = &cache_;
+      sweep.supervisor.cancel = &drain_cancel_;
+      sweep.corners =
+          stat::CornerSet::parse(req.corners.empty() ? "all" : req.corners);
+      sweep.mc_samples = std::min(req.mc_samples, options_.mc_samples_cap);
+      const std::vector<est::OpAmpSpec> specs{req.spec};
+      const runtime::SweepResult r =
+          sweep.mc_samples > 0 ? runtime::run_monte_carlo(proc_, specs, sweep)
+                               : runtime::run_corner_sweep(proc_, specs, sweep);
+      const runtime::SweepJobResult& job = r.jobs.at(0);
+      if (!job.ok) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.errors;
+        if (budget.cancelled()) ++stats_.cancelled;
+        return error_response(req.id, job.error);
+      }
+      std::string json = response_head(req.id, "ok", false);
+      json += ",\"corners\":\"";
+      for (size_t c = 0; c < sweep.corners.size(); ++c) {
+        if (c != 0) json += ',';
+        json += sweep.corners[c].name;
+      }
+      json += '"';
+      append_kv(json, "mc_samples", static_cast<long>(sweep.mc_samples));
+      append_kv(json, "samples_per_corner",
+                static_cast<long>(r.samples_per_corner));
+      json += ",\"corner_estimate_ok\":\"";
+      for (const uint8_t ok : job.corner_estimate_ok) json += ok ? '1' : '0';
+      json += '"';
+      json += ",\"yield_report\":" + job.report.to_json();
+      json += '}';
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.completed_ok;
       return json;

@@ -87,6 +87,7 @@ struct ServeOptions {
   int retries = 1;             ///< plain retries in the request ladder
   int quarantine_threshold = 3;///< consecutive failures before quarantine
   uint64_t seed = 1;           ///< base seed; request i uses stream i
+  int mc_samples_cap = 256;    ///< cap on corner_sweep mc_samples
 };
 
 /// Monotonic server counters (snapshot). The `stats` op serializes this
@@ -153,6 +154,7 @@ private:
   std::string run_estimate(const Request& req, bool degraded);
   std::string run_synthesize(Connection& conn, const Request& req);
   std::string run_simulate(Connection& conn, const Request& req);
+  std::string run_corner_sweep(Connection& conn, const Request& req);
   std::string stats_response(const Request& req) const;
 
   /// Admission decision for one heavy request; increments load_ when

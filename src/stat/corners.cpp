@@ -1,0 +1,117 @@
+#include "src/stat/corners.h"
+
+#include "src/util/error.h"
+
+namespace ape::stat {
+namespace {
+
+// The classic digital-flow skew magnitudes, reused for the analog cards:
+// +/-100 mV threshold shift and +/-10% transconductance parameter.
+constexpr double kDvth = 0.1;      // [V], + = slow (harder to turn on)
+constexpr double kKpFast = 1.1;
+constexpr double kKpSlow = 0.9;
+constexpr double kVddHigh = 1.1;
+constexpr double kVddLow = 0.9;
+constexpr double kHotC = 125.0;
+constexpr double kColdC = -40.0;
+constexpr double kNomC = 27.0;
+
+est::CornerDelta make(const char* name, double n_dvth, double p_dvth,
+                      double n_kp, double p_kp, double vdd, double temp) {
+  est::CornerDelta d;
+  d.name = name;
+  d.nmos_dvth = n_dvth;
+  d.pmos_dvth = p_dvth;
+  d.nmos_kp_scale = n_kp;
+  d.pmos_kp_scale = p_kp;
+  d.vdd_scale = vdd;
+  d.temp_c = temp;
+  return d;
+}
+
+const std::vector<est::CornerDelta>& catalog() {
+  // Fast skew = lower |Vth| + higher K'; slow = the opposite. The
+  // worst-speed family runs hot at low vdd (least drive), worst-power
+  // runs cold at high vdd (most drive/leakage headroom).
+  static const std::vector<est::CornerDelta> k = {
+      make("tm", 0.0, 0.0, 1.0, 1.0, 1.0, kNomC),
+      make("wp", -kDvth, -kDvth, kKpFast, kKpFast, kVddHigh, kColdC),
+      make("ws", kDvth, kDvth, kKpSlow, kKpSlow, kVddLow, kHotC),
+      make("wo", -kDvth, kDvth, kKpFast, kKpSlow, kVddLow, kHotC),
+      make("wz", kDvth, -kDvth, kKpSlow, kKpFast, kVddLow, kHotC),
+      make("hot", 0.0, 0.0, 1.0, 1.0, 1.0, kHotC),
+      make("cold", 0.0, 0.0, 1.0, 1.0, 1.0, kColdC),
+  };
+  return k;
+}
+
+}  // namespace
+
+CornerSet CornerSet::all() {
+  CornerSet s;
+  s.corners_ = catalog();
+  return s;
+}
+
+CornerSet CornerSet::nominal() {
+  CornerSet s;
+  s.corners_.push_back(catalog()[0]);
+  return s;
+}
+
+CornerSet CornerSet::parse(const std::string& selection) {
+  if (selection.empty() || selection == "all") return all();
+  CornerSet s;
+  size_t start = 0;
+  while (start <= selection.size()) {
+    size_t comma = selection.find(',', start);
+    if (comma == std::string::npos) comma = selection.size();
+    const std::string name = selection.substr(start, comma - start);
+    if (name.empty()) {
+      throw SpecError("CornerSet::parse: empty corner name in '" + selection +
+                      "'");
+    }
+    const est::CornerDelta* found = nullptr;
+    for (const auto& d : catalog()) {
+      if (d.name == name) {
+        found = &d;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw SpecError("CornerSet::parse: unknown corner '" + name +
+                      "' (known: tm,wp,ws,wo,wz,hot,cold)");
+    }
+    if (s.index_of(name) >= 0) {
+      throw SpecError("CornerSet::parse: duplicate corner '" + name + "'");
+    }
+    s.corners_.push_back(*found);
+    start = comma + 1;
+  }
+  return s;
+}
+
+int CornerSet::index_of(const std::string& name) const {
+  for (size_t i = 0; i < corners_.size(); ++i) {
+    if (corners_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<est::Process> CornerSet::realize(const est::Process& base) const {
+  std::vector<est::Process> out;
+  out.reserve(corners_.size());
+  for (const auto& d : corners_) out.push_back(base.corner(d));
+  return out;
+}
+
+std::string CornerSet::names() const {
+  std::string out;
+  for (const auto& d : corners_) {
+    if (!out.empty()) out += ',';
+    out += d.name;
+  }
+  return out;
+}
+
+}  // namespace ape::stat

@@ -1,0 +1,64 @@
+#pragma once
+/// \file corners.h
+/// PVT corner sets: named CornerDelta recipes realized against any base
+/// Process (DESIGN.md section 12). The corner naming follows the
+/// pyopus/industrial convention the related sizing literature uses:
+///
+///   tm   typical mean          — nominal skew, nominal vdd, 27 C
+///   wp   worst power  (FF)     — fast N, fast P, vdd +10%, -40 C
+///   ws   worst speed  (SS)     — slow N, slow P, vdd -10%, 125 C
+///   wo   worst one    (FS)     — fast N, slow P, vdd -10%, 125 C
+///   wz   worst zero   (SF)     — slow N, fast P, vdd -10%, 125 C
+///   hot  temperature-only      — nominal skew, nominal vdd, 125 C
+///   cold temperature-only      — nominal skew, nominal vdd, -40 C
+///
+/// Skew magnitudes are the classic +/-100 mV on |Vth| and +/-10% on K';
+/// temperature scaling (mobility, |Vth|) is applied by Process::corner
+/// on top of the skew. The tm corner's delta is the identity recipe: it
+/// realizes to a process that is numerically equal to the base but
+/// carries variant "tm" — a *distinct* cache identity (see the cache-key
+/// regression tests), which is what lets a sweep share the tm estimate
+/// with the nominal sizing pass while never colliding blindly.
+
+#include <string>
+#include <vector>
+
+#include "src/estimator/process.h"
+
+namespace ape::stat {
+
+/// An ordered set of named PVT corners. Order is part of the contract:
+/// corner index c keys the mismatch stream ids (stream_ids.h) and the
+/// per-corner slots of a YieldReport.
+class CornerSet {
+public:
+  /// The full 7-corner set in the order documented above.
+  static CornerSet all();
+
+  /// Just the typical-mean corner.
+  static CornerSet nominal();
+
+  /// Parse a corner selection: "all" or a comma-separated subset of the
+  /// 7 names ("tm,ws,wo"). Unknown names throw SpecError. Order follows
+  /// the request, duplicates throw.
+  static CornerSet parse(const std::string& selection);
+
+  const std::vector<est::CornerDelta>& corners() const { return corners_; }
+  size_t size() const { return corners_.size(); }
+  const est::CornerDelta& operator[](size_t i) const { return corners_[i]; }
+
+  /// Index of a corner by name, -1 when absent.
+  int index_of(const std::string& name) const;
+
+  /// Derive the corner process cards from \p base (one Process::corner
+  /// call per entry, same order as corners()).
+  std::vector<est::Process> realize(const est::Process& base) const;
+
+  /// Comma-joined corner names ("tm,wp,ws,...").
+  std::string names() const;
+
+private:
+  std::vector<est::CornerDelta> corners_;
+};
+
+}  // namespace ape::stat

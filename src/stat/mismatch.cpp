@@ -1,0 +1,52 @@
+#include "src/stat/mismatch.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/stream_ids.h"
+
+namespace ape::stat {
+
+double PelgromModel::sigma_vth(double w, double l) const {
+  if (w <= 0.0 || l <= 0.0) {
+    throw SpecError("PelgromModel::sigma_vth: non-positive device area");
+  }
+  return a_vt / std::sqrt(w * l);
+}
+
+double PelgromModel::sigma_k(double w, double l) const {
+  if (w <= 0.0 || l <= 0.0) {
+    throw SpecError("PelgromModel::sigma_k: non-positive device area");
+  }
+  return a_k / std::sqrt(w * l);
+}
+
+est::Process sample_mismatch(const est::Process& base,
+                             const PelgromModel& model, uint64_t seed,
+                             uint64_t job, uint64_t corner, uint64_t sample) {
+  if (job >= (1ULL << streams::kMismatchJobBits) ||
+      corner >= (1ULL << streams::kMismatchCornerBits) ||
+      sample >= (1ULL << streams::kMismatchSampleBits)) {
+    throw SpecError("sample_mismatch: (job, corner, sample) out of the "
+                    "stream-id field widths (see stream_ids.h)");
+  }
+  Rng rng(Rng::derive_stream(seed,
+                             streams::kMismatchStream(job, corner, sample)));
+  const double svt = model.sigma_vth(model.w_ref, model.l_ref);
+  const double sk = model.sigma_k(model.w_ref, model.l_ref);
+  // Fixed draw order — part of the determinism contract (file comment).
+  const double n_dvth = rng.gauss() * svt;
+  const double n_dk = rng.gauss() * sk;
+  const double p_dvth = rng.gauss() * svt;
+  const double p_dk = rng.gauss() * sk;
+  est::Process out = base;
+  est::perturb_card(out.nmos, n_dvth, 1.0 + n_dk);
+  est::perturb_card(out.pmos, p_dvth, 1.0 + p_dk);
+  const std::string tag = "mc" + std::to_string(sample);
+  out.variant = out.variant.empty() ? tag : out.variant + "/" + tag;
+  return out;
+}
+
+}  // namespace ape::stat

@@ -1,0 +1,52 @@
+#pragma once
+/// \file mismatch.h
+/// Pelgrom-style Monte-Carlo mismatch sampling (DESIGN.md section 12):
+/// per-sample perturbations of the model cards with
+///
+///   sigma(dVth)    = A_vt / sqrt(W L)
+///   sigma(dK'/K')  = A_k  / sqrt(W L)
+///
+/// evaluated at a representative device area (the estimator works at the
+/// *card* level, so one draw per card stands in for the per-device
+/// draws a transistor-level Monte Carlo would make — the matched-pair
+/// offset that dominates opamp yield).
+///
+/// Determinism contract: sample s of job j at corner c draws from the
+/// dedicated stream Rng::derive_stream(seed, kMismatchStream(j, c, s))
+/// (stream_ids.h), with a fixed draw order (NMOS Vth, NMOS K', PMOS
+/// Vth, PMOS K'). Results are a pure function of (base, model, seed, j,
+/// c, s) — bit-identical at any thread count and across resume.
+
+#include <cstdint>
+
+#include "src/estimator/process.h"
+
+namespace ape::stat {
+
+/// Pelgrom matching coefficients and the representative device area the
+/// card-level sigmas are evaluated at. Defaults are typical published
+/// 1.2 um-class values: A_vt = 15 mV·um, A_k = 2 %·um.
+struct PelgromModel {
+  double a_vt = 15e-9;   ///< sigma(dVth) * sqrt(WL) [V·m]
+  double a_k = 0.02e-6;  ///< sigma(dK'/K') * sqrt(WL) [·m]
+  double w_ref = 10e-6;  ///< representative device width [m]
+  double l_ref = 2.4e-6; ///< representative device length [m]
+
+  /// sigma(dVth) at a W x L device [V].
+  double sigma_vth(double w, double l) const;
+  /// Relative sigma(dK'/K') at a W x L device.
+  double sigma_k(double w, double l) const;
+};
+
+/// Draw one Monte-Carlo sample: perturb both cards of \p base with
+/// gaussian Pelgrom deltas at the model's reference area, tag the
+/// variant ("<base-variant>/mc<sample>") so the sample has its own
+/// cache/quarantine identity. \p job, \p corner and \p sample key the
+/// RNG stream (see file comment); they must fit the stream_ids.h field
+/// widths (job < 2^30, corner < 64, sample < 2^20) or SpecError is
+/// thrown.
+est::Process sample_mismatch(const est::Process& base,
+                             const PelgromModel& model, uint64_t seed,
+                             uint64_t job, uint64_t corner, uint64_t sample);
+
+}  // namespace ape::stat

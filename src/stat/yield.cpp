@@ -1,0 +1,128 @@
+#include "src/stat/yield.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/error.h"
+
+namespace ape::stat {
+
+void CriteriaCounts::add(const PointOutcome& p) {
+  ++samples;
+  if (p.functional) ++functional;
+  if (p.gain_ok) ++gain;
+  if (p.ugf_ok) ++ugf;
+  if (p.pm_ok) ++phase_margin;
+  if (p.pass()) ++pass;
+}
+
+CriteriaCounts& CriteriaCounts::operator+=(const CriteriaCounts& o) {
+  samples += o.samples;
+  functional += o.functional;
+  gain += o.gain;
+  ugf += o.ugf;
+  phase_margin += o.phase_margin;
+  pass += o.pass;
+  return *this;
+}
+
+WilsonInterval wilson_interval(long passes, long samples, double z) {
+  WilsonInterval w;
+  if (samples <= 0) return w;  // vacuous [0, 1]
+  const double n = double(samples);
+  const double p = double(passes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  w.lo = std::max(0.0, center - half);
+  w.hi = std::min(1.0, center + half);
+  return w;
+}
+
+YieldReport::YieldReport(const std::vector<std::string>& corner_names) {
+  corners.reserve(corner_names.size());
+  for (const auto& name : corner_names) corners.emplace_back(name, CriteriaCounts{});
+}
+
+void YieldReport::add(size_t corner_index, const PointOutcome& p) {
+  if (corner_index >= corners.size()) {
+    throw SpecError("YieldReport::add: corner index out of range");
+  }
+  corners[corner_index].second.add(p);
+  total.add(p);
+}
+
+void YieldReport::merge(const YieldReport& o) {
+  if (o.corners.size() != corners.size()) {
+    throw SpecError("YieldReport::merge: corner layouts differ");
+  }
+  for (size_t c = 0; c < corners.size(); ++c) {
+    if (corners[c].first != o.corners[c].first) {
+      throw SpecError("YieldReport::merge: corner layouts differ");
+    }
+    corners[c].second += o.corners[c].second;
+  }
+  total += o.total;
+}
+
+void YieldReport::finalize() {
+  worst_corner = -1;
+  double worst_rate = 2.0;  // any real rate beats this
+  for (size_t c = 0; c < corners.size(); ++c) {
+    if (corners[c].second.samples == 0) continue;
+    const double rate = corners[c].second.pass_rate();
+    if (rate < worst_rate) {  // strict: lowest index wins ties
+      worst_rate = rate;
+      worst_corner = static_cast<int>(c);
+    }
+  }
+}
+
+const std::string& YieldReport::worst_corner_name() const {
+  static const std::string kNone = "";
+  if (worst_corner < 0 || size_t(worst_corner) >= corners.size()) return kNone;
+  return corners[size_t(worst_corner)].first;
+}
+
+namespace {
+
+void put_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string YieldReport::to_json() const {
+  const WilsonInterval w = ci();
+  std::string out = "{\"yield\":";
+  put_num(out, yield());
+  out += ",\"ci_lo\":";
+  put_num(out, w.lo);
+  out += ",\"ci_hi\":";
+  put_num(out, w.hi);
+  out += ",\"samples\":" + std::to_string(total.samples);
+  out += ",\"passes\":" + std::to_string(total.pass);
+  out += ",\"worst_corner\":\"" + worst_corner_name() + "\"";
+  out += ",\"corners\":[";
+  for (size_t c = 0; c < corners.size(); ++c) {
+    if (c > 0) out += ',';
+    const CriteriaCounts& k = corners[c].second;
+    out += "{\"name\":\"" + corners[c].first + "\",\"samples\":" +
+           std::to_string(k.samples) + ",\"pass\":" + std::to_string(k.pass) +
+           ",\"functional\":" + std::to_string(k.functional) +
+           ",\"gain\":" + std::to_string(k.gain) +
+           ",\"ugf\":" + std::to_string(k.ugf) +
+           ",\"phase_margin\":" + std::to_string(k.phase_margin) +
+           ",\"pass_rate\":";
+    put_num(out, k.pass_rate());
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ape::stat

@@ -156,14 +156,38 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   OpAmpSpec target = spec;
   target.gain *= opts.target_margin;
   target.ugf_hz *= opts.target_margin;
-  auto make_cost = [&proc, &spec, target, buffered](int* skipped) {
-    return [&proc, &spec, target, buffered,
+  // Worst-corner yield term (SynthesisOptions::yield_weight): score the
+  // candidate at every corner card and add the worst weighted corner
+  // cost on top of the nominal cost. A corner that cannot evaluate the
+  // candidate contributes the skipped plateau, so corner-fragile points
+  // are penalized, never silently accepted.
+  const bool yield_aware =
+      opts.yield_weight > 0.0 && !opts.corner_procs.empty();
+  auto corner_term = [&opts, &spec, target, buffered,
+                      yield_aware](const OpAmpVars& v) {
+    if (!yield_aware) return 0.0;
+    double worst = 0.0;
+    for (const est::Process& cp : opts.corner_procs) {
+      double c;
+      try {
+        c = opamp_cost(evaluate_opamp_vars(cp, v, spec.ibias, spec.cload),
+                       target);
+      } catch (const Error&) {
+        c = kSkippedCandidateCost;
+      }
+      if (c > worst) worst = c;
+    }
+    return opts.yield_weight * worst;
+  };
+  auto make_cost = [&proc, &spec, target, buffered, &corner_term](int* skipped) {
+    return [&proc, &spec, target, buffered, &corner_term,
             skipped](const std::vector<double>& x) {
       try {
         if (auto* fi = spice::fault_injector()) fi->on_cost_eval();
         const OpAmpVars v = OpAmpVars::unpack(x, buffered);
         return opamp_cost(evaluate_opamp_vars(proc, v, spec.ibias, spec.cload),
-                          target);
+                          target) +
+               corner_term(v);
       } catch (const Error&) {
         // A candidate the estimator cannot evaluate (SpecError on a wild
         // geometry, numerical failure) is a bad point, not a dead run.

@@ -47,6 +47,19 @@ struct SynthesisOptions {
   /// Same for module synthesis: the topology/sizing prototype normally
   /// produced by ModuleEstimator::estimate. Not owned.
   const est::ModuleDesign* module_proto = nullptr;
+
+  /// Yield-aware cost (opamp synthesis only; DESIGN.md section 12).
+  /// When yield_weight > 0 and corner_procs is non-empty, every
+  /// candidate is additionally scored at each corner process and the
+  /// *worst-corner* cost, weighted by yield_weight, is added to the
+  /// nominal cost — so the annealer trades nominal optimality for
+  /// designs that keep working across PVT. Callers realize the corner
+  /// cards once (stat::CornerSet::realize) and pass them here; synth
+  /// stays independent of the stat layer. A corner where a candidate
+  /// cannot be evaluated scores the skipped-candidate plateau, exactly
+  /// like a nominal evaluation failure.
+  double yield_weight = 0.0;
+  std::vector<est::Process> corner_procs;
 };
 
 /// Outcome of one opamp synthesis run.

@@ -203,6 +203,49 @@ TEST(ServeDaemon, PingEstimateAndStats) {
   EXPECT_EQ(daemon.stop(), 0);
 }
 
+TEST(ServeDaemon, CornerSweepReturnsAYieldReport) {
+  ServeOptions options = base_options("sweep");
+  options.mc_samples_cap = 8;  // the cap bounds client-requested depth
+  TestDaemon daemon(options);
+  Client client(daemon.server.socket_path());
+
+  json::Value r = call_json(
+      client,
+      "{\"op\":\"corner_sweep\",\"id\":\"cs\",\"spec\":{\"gain\":150,"
+      "\"ugf_hz\":2e6,\"ibias\":10e-6,\"cload\":10e-12},"
+      "\"corners\":\"tm,ws\",\"mc_samples\":64}");
+  EXPECT_EQ(field(r, "status"), "ok");
+  EXPECT_EQ(field(r, "corners"), "tm,ws");
+  EXPECT_EQ(num_field(r, "mc_samples"), 8.0);          // capped from 64
+  EXPECT_EQ(num_field(r, "samples_per_corner"), 8.0);
+  EXPECT_EQ(field(r, "corner_estimate_ok"), "11");
+  const json::Value* report = r.find("yield_report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("samples")->as_number(), 16.0);  // 2 corners x 8
+  EXPECT_GE(report->find("yield")->as_number(), 0.0);
+  ASSERT_NE(report->find("corners"), nullptr);
+
+  // Identical request: phase A + tm re-estimates hit the shared cache.
+  call_json(client,
+            "{\"op\":\"corner_sweep\",\"spec\":{\"gain\":150,\"ugf_hz\":2e6,"
+            "\"ibias\":10e-6,\"cload\":10e-12},\"corners\":\"tm,ws\"}");
+  json::Value stats = call_json(client, "{\"op\":\"stats\"}");
+  EXPECT_GE(num_field(stats, "cache_hits"), 3.0);
+
+  // Malformed selections and negative sample counts are error responses,
+  // not connection damage.
+  json::Value bad = call_json(
+      client,
+      "{\"op\":\"corner_sweep\",\"spec\":{\"gain\":150},"
+      "\"corners\":\"tm,bogus\"}");
+  EXPECT_EQ(field(bad, "status"), "error");
+  json::Value neg = call_json(
+      client, "{\"op\":\"corner_sweep\",\"spec\":{\"gain\":150},"
+              "\"mc_samples\":-1}");
+  EXPECT_EQ(field(neg, "status"), "error");
+  EXPECT_EQ(daemon.stop(), 0);
+}
+
 TEST(ServeDaemon, MalformedPayloadDoesNotCorruptTheConnection) {
   TestDaemon daemon(base_options("malformed"));
   Client client(daemon.server.socket_path());
