@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "bench/bench_util.h"
 #include "src/estimator/components.h"
 #include "src/estimator/modules.h"
@@ -279,10 +280,11 @@ int run_batch_comparison() {
   std::printf("estimate path: %.1f us/opamp (single thread)\n", est_us);
   std::printf("%s\n", ks.summary().c_str());
 
-  char json[4096];
+  char json[8192];
   std::snprintf(
       json, sizeof json,
       "{\n"
+      "  \"meta\": %s,\n"
       "  \"jobs\": %zu,\n"
       "  \"hardware_threads\": %d,\n"
       "  \"serial_seconds\": %.6f,\n"
@@ -307,10 +309,24 @@ int run_batch_comparison() {
       "    \"solves\": %ld,\n"
       "    \"ac_points_fused\": %ld,\n"
       "    \"ac_points_virtual\": %ld,\n"
+      "    \"symbolic_analyses\": %ld,\n"
+      "    \"symbolic_reuses\": %ld,\n"
+      "    \"numeric_refactors\": %ld,\n"
+      "    \"sparse_fallbacks\": %ld,\n"
+      "    \"sparse_nnz\": %zu,\n"
+      "    \"sparse_fill_in\": %zu,\n"
       "    \"workspace_bytes\": %zu,\n"
       "    \"workspace_regrowths\": %ld\n"
+      "  },\n"
+      "  \"batch_kernel\": {\n"
+      "    \"solves\": %ld,\n"
+      "    \"factorizations\": %ld,\n"
+      "    \"numeric_refactors\": %ld,\n"
+      "    \"symbolic_reuses\": %ld,\n"
+      "    \"ac_points_fused\": %ld\n"
       "  }\n"
       "}\n",
+      bench::meta_json().c_str(),
       specs.size(), hw, serial.stats.wall_seconds, pooled.stats.wall_seconds,
       serial.stats.jobs_per_second, pooled.stats.jobs_per_second, speedup,
       speedup_valid ? "true" : "false", identical ? "true" : "false",
@@ -320,7 +336,13 @@ int run_batch_comparison() {
       ks.baseline_builds,
       ks.baseline_restores, ks.linear_stamps_skipped, ks.nonlinear_stamps,
       ks.factorizations, ks.solves, ks.ac_points_fused, ks.ac_points_virtual,
-      ks.workspace_bytes, ks.workspace_regrowths);
+      ks.symbolic_analyses, ks.symbolic_reuses, ks.numeric_refactors,
+      ks.sparse_fallbacks, ks.sparse_nnz, ks.sparse_fill_in,
+      ks.workspace_bytes, ks.workspace_regrowths,
+      pooled.stats.kernel.solves, pooled.stats.kernel.factorizations,
+      pooled.stats.kernel.numeric_refactors,
+      pooled.stats.kernel.symbolic_reuses,
+      pooled.stats.kernel.ac_points_fused);
   const char* path = "BENCH_ape_speed.json";
   if (FILE* f = std::fopen(path, "w")) {
     std::fputs(json, f);

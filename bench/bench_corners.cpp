@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "bench/bench_util.h"
 #include "src/runtime/sweep.h"
 #include "src/stat/corners.h"
@@ -106,6 +107,7 @@ int main() {
   char json[4096];
   std::snprintf(json, sizeof json,
                 "{\n"
+                "  \"meta\": %s,\n"
                 "  \"specs\": %zu,\n"
                 "  \"corners\": 7,\n"
                 "  \"mc_samples\": %d,\n"
@@ -122,6 +124,7 @@ int main() {
                 "  \"scaling\": %s,\n"
                 "  \"aggregate\": %s\n"
                 "}\n",
+                ape::bench::meta_json().c_str(),
                 specs.size(), mc, points, hw, serial_wall, final_wall, speedup,
                 hw > 1 ? "true" : "false", identical ? "true" : "false",
                 final_cache.hits, final_cache.misses, final_cache.hit_rate(),

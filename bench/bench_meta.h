@@ -1,0 +1,35 @@
+#pragma once
+/// Provenance stamp for the committed BENCH_*.json trajectory files:
+/// every record carries the git SHA and compiler it was produced with
+/// (injected by bench/CMakeLists.txt at configure time) plus the UTC
+/// date of the run, so a regression flagged by check_bench can always
+/// be traced to the exact build that recorded the baseline.
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#ifndef APE_BENCH_GIT_SHA
+#define APE_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef APE_BENCH_COMPILER
+#define APE_BENCH_COMPILER "unknown"
+#endif
+
+namespace ape::bench {
+
+/// The "meta" JSON object: {"git_sha": ..., "date": ..., "compiler": ...}.
+inline std::string meta_json() {
+  const std::time_t now = std::time(nullptr);
+  char date[32] = "unknown";
+  if (const std::tm* tm = std::gmtime(&now)) {
+    std::strftime(date, sizeof date, "%Y-%m-%d", tm);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"git_sha\": \"%s\", \"date\": \"%s\", \"compiler\": \"%s\"}",
+                APE_BENCH_GIT_SHA, date, APE_BENCH_COMPILER);
+  return buf;
+}
+
+}  // namespace ape::bench

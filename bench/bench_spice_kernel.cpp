@@ -1,7 +1,10 @@
 /// Micro-benchmark for the compiled MNA kernel (src/spice/kernel.h):
 ///
 ///  - in-place LU workspaces (factorize/solve_into) vs the old
-///    allocate-a-solver-per-iteration path, over system sizes 4..64;
+///    allocate-a-solver-per-iteration path, over system sizes 4..256;
+///  - sparse LU with reusable symbolic factorization (src/util/sparse.h)
+///    vs dense LU on circuit-shaped (ladder/banded) systems — the
+///    crossover table behind KernelPolicy's Auto heuristic;
 ///  - serial (re-factorize per RHS) vs batch (one factorization, many
 ///    RHS) solve scheduling, the shape the AC/noise sweeps and the AWE
 ///    moment recursion use;
@@ -9,8 +12,11 @@
 ///
 /// After the google-benchmark run, main() re-times the LU shapes with a
 /// steady clock and writes machine-readable BENCH_spice_kernel.json
-/// (ns/op per size plus a KernelStats allocation audit) for the
-/// committed performance trajectory.
+/// (ns/op per size, the sparse-vs-dense crossover table, and KernelStats
+/// audits proving symbolic reuse + allocation-free steady state) for the
+/// committed performance trajectory. `--quick` skips the google-benchmark
+/// pass and shrinks the timing loops — the CI smoke job and the
+/// check_bench regression gate run that mode.
 
 #include <benchmark/benchmark.h>
 
@@ -19,14 +25,17 @@
 #include <complex>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "bench/bench_meta.h"
 #include "src/spice/analysis.h"
 #include "src/spice/devices.h"
 #include "src/spice/kernel.h"
 #include "src/util/matrix.h"
+#include "src/util/sparse.h"
 
 using namespace ape;
 using namespace ape::spice;
@@ -60,8 +69,60 @@ RealMatrix make_system(size_t n, std::vector<double>* rhs) {
   return a;
 }
 
+/// Circuit-shaped sparse system: a tridiagonal ladder backbone plus one
+/// long-range coupling every 8 rows (a feedback / bias net), diagonally
+/// dominant. Dense random matrices are the sparse solver's worst case;
+/// real MNA systems look like this instead, and this is the shape the
+/// KernelPolicy crossover defaults were measured on.
+RealMatrix make_ladder_system(size_t n, std::vector<double>* rhs) {
+  RealMatrix a(n, n);
+  uint64_t s = 0xc6a4a7935bd1e995ull + n;
+  auto next = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return double((s >> 33) & 0xffff) / 65536.0 + 0.25;  // in [0.25, 1.25)
+  };
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    auto couple = [&](size_t j) {
+      const double v = next();
+      a(i, j) = -v;
+      row += v;
+    };
+    if (i > 0) couple(i - 1);
+    if (i + 1 < n) couple(i + 1);
+    if (i >= 8 && i % 8 == 0) couple(i - 8);
+    a(i, i) = row + 1.0;
+  }
+  if (rhs != nullptr) {
+    rhs->resize(n);
+    for (size_t i = 0; i < n; ++i) (*rhs)[i] = next();
+  }
+  return a;
+}
+
+/// CSR pattern + value vector of a fully-assembled matrix (every stored
+/// nonzero becomes a structural slot).
+SparsePattern pattern_of(const RealMatrix& a, std::vector<double>* vals) {
+  const size_t n = a.rows();
+  SparsePattern p(static_cast<int>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (a(i, j) != 0.0) p.add(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  p.finalize();
+  vals->resize(p.nnz());
+  for (size_t i = 0; i < n; ++i) {
+    for (int s = p.row_ptr()[i]; s < p.row_ptr()[i + 1]; ++s) {
+      (*vals)[static_cast<size_t>(s)] = a(i, static_cast<size_t>(p.cols()[s]));
+    }
+  }
+  return p;
+}
+
 /// RC ladder with an AC stimulus: pure linear circuit whose AC sweep is
-/// the fused-assembly showcase.
+/// the fused-assembly showcase; at 120+ stages it is also the shape the
+/// sparse kernel path exists for (dim > sparse_min_dim, density ~0.02).
 Circuit make_rc_ladder(int stages) {
   Circuit ckt("ladder");
   Waveform w;
@@ -104,7 +165,44 @@ static void BM_LuSerial_Workspace(benchmark::State& state) {
     benchmark::DoNotOptimize(x.data());
   }
 }
-BENCHMARK(BM_LuSerial_Workspace)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_LuSerial_Workspace)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// Sparse kernel path on a circuit-shaped system: symbolic factorization
+/// reused, numeric refactorization + solve per iteration (the Newton /
+/// AC-sweep steady state).
+static void BM_SparseLu_Refactor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_ladder_system(n, &b);
+  std::vector<double> vals;
+  const SparsePattern p = pattern_of(a, &vals);
+  SparseLuReal slu;
+  slu.factorize(p, vals);  // symbolic analysis paid once, outside the loop
+  std::vector<double> x(n);
+  for (auto _ : state) {
+    slu.factorize(p, vals);
+    slu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseLu_Refactor)->Arg(64)->Arg(128)->Arg(256);
+
+/// Dense reference for BM_SparseLu_Refactor on the same ladder systems.
+static void BM_DenseLu_Ladder(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> b;
+  const RealMatrix a = make_ladder_system(n, &b);
+  LuSolver<double> lu;
+  lu.reserve(n);
+  std::vector<double> x(n);
+  for (auto _ : state) {
+    lu.factorize(a);
+    lu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_DenseLu_Ladder)->Arg(64)->Arg(128)->Arg(256);
 
 /// Serial scheduling: re-factorize for every one of 16 right-hand sides.
 static void BM_LuBatch16_Refactor(benchmark::State& state) {
@@ -178,6 +276,23 @@ static void BM_AcPoint_Fused(benchmark::State& state) {
 }
 BENCHMARK(BM_AcPoint_Fused);
 
+/// Sparse AC point on a 120-stage ladder (dim 122): SoA slot assembly +
+/// complex sparse refactorization, the vectorized-sweep steady state.
+static void BM_AcPoint_SparseLadder(benchmark::State& state) {
+  Circuit ckt = make_rc_ladder(120);
+  (void)dc_operating_point(ckt);
+  AcKernel kern(ckt);  // Auto policy picks sparse at this dim/density
+  std::vector<std::complex<double>> x(kern.dim());
+  double omega = 1e3;
+  for (auto _ : state) {
+    kern.assemble(omega);
+    kern.solve_into(x);
+    benchmark::DoNotOptimize(x.data());
+    omega *= 1.001;
+  }
+}
+BENCHMARK(BM_AcPoint_SparseLadder);
+
 // ---------------------------------------------------------------------------
 // Machine-readable trajectory file.
 
@@ -198,14 +313,79 @@ double time_ns_per_op(int iters, const std::function<void()>& op) {
   return best;
 }
 
-int write_json() {
-  const size_t sizes[] = {4, 8, 16, 32, 64};
+/// Iteration budget per system size; `quick` shrinks it ~10x for the CI
+/// smoke job (still best-of-three, so the gate metrics stay usable).
+int iters_for(size_t n, bool quick) {
+  int iters;
+  if (n <= 16) iters = 20000;
+  else if (n <= 48) iters = 2000;
+  else if (n <= 96) iters = 500;
+  else if (n <= 128) iters = 100;
+  else iters = 16;
+  if (quick) iters = iters / 10 > 3 ? iters / 10 : 3;
+  return iters;
+}
+
+/// One row of the sparse-vs-dense crossover table.
+struct CrossoverRow {
+  size_t n = 0;
+  double dense_ns = 0.0;            ///< dense refactor + solve
+  double sparse_ns = 0.0;           ///< sparse refactor + solve (symbolic reused)
+  double sparse_symbolic_ns = 0.0;  ///< one-time order-and-factor cost
+  size_t nnz = 0;
+  size_t fill_in = 0;
+  double density = 0.0;
+};
+
+CrossoverRow time_crossover(size_t n, bool quick) {
+  CrossoverRow row;
+  row.n = n;
+  std::vector<double> b;
+  const RealMatrix a = make_ladder_system(n, &b);
+  std::vector<double> vals;
+  const SparsePattern p = pattern_of(a, &vals);
+  row.nnz = p.nnz();
+  row.density = p.density();
+
+  LuSolver<double> lu;
+  lu.reserve(n);
+  std::vector<double> x(n);
+  const int iters = iters_for(n, quick);
+  row.dense_ns = time_ns_per_op(iters, [&] {
+    lu.factorize(a);
+    lu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  });
+
+  // One-time symbolic cost: fresh solver, full order-and-factor.
+  row.sparse_symbolic_ns = time_ns_per_op(quick ? 20 : 200, [&] {
+    SparseLuReal fresh;
+    fresh.factorize(p, vals);
+    benchmark::DoNotOptimize(&fresh);
+  });
+
+  // Steady state: symbolic reused, numeric refactorization + solve.
+  SparseLuReal slu;
+  slu.factorize(p, vals);
+  row.fill_in = slu.stats().fill_in;
+  row.sparse_ns = time_ns_per_op(iters, [&] {
+    slu.factorize(p, vals);
+    slu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  });
+  return row;
+}
+
+int write_json(bool quick) {
   std::FILE* f = std::fopen("BENCH_spice_kernel.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_spice_kernel.json\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"lu\": [\n");
+  std::fprintf(f, "{\n  \"meta\": %s,\n", bench::meta_json().c_str());
+
+  const size_t sizes[] = {4, 8, 16, 32, 64, 128, 256};
+  std::fprintf(f, "  \"lu\": [\n");
   bool first = true;
   for (size_t n : sizes) {
     std::vector<double> b;
@@ -213,7 +393,7 @@ int write_json() {
     LuSolver<double> ws;
     ws.reserve(n);
     std::vector<double> x(n);
-    const int iters = n >= 32 ? 2000 : 20000;
+    const int iters = iters_for(n, quick);
     const double alloc_ns = time_ns_per_op(iters, [&] {
       LuSolver<double> lu(a);
       benchmark::DoNotOptimize(lu.solve(b));
@@ -223,14 +403,15 @@ int write_json() {
       ws.solve_into(b, x);
       benchmark::DoNotOptimize(x.data());
     });
-    const double batch_reuse_ns = time_ns_per_op(iters, [&] {
+    const int biters = iters / 8 > 3 ? iters / 8 : 3;
+    const double batch_reuse_ns = time_ns_per_op(biters, [&] {
       ws.factorize(a);
       for (int k = 0; k < 16; ++k) {
         ws.solve_into(b, x);
         benchmark::DoNotOptimize(x.data());
       }
     });
-    const double batch_refactor_ns = time_ns_per_op(iters, [&] {
+    const double batch_refactor_ns = time_ns_per_op(biters, [&] {
       for (int k = 0; k < 16; ++k) {
         ws.factorize(a);
         ws.solve_into(b, x);
@@ -246,20 +427,65 @@ int write_json() {
   }
   std::fprintf(f, "\n  ],\n");
 
-  // AC assembly comparison + the allocation audit on a real sweep.
+  // Sparse-vs-dense crossover on circuit-shaped (ladder/banded) systems:
+  // the empirical basis of KernelPolicy's Auto heuristic. The steady
+  // state compared is one numeric (re)factorization + solve per path;
+  // the one-time symbolic cost is recorded separately.
+  const size_t xsizes[] = {8, 16, 32, 48, 64, 96, 128, 256};
+  std::printf("\n-- sparse vs dense crossover (ladder systems) --\n");
+  std::printf("%6s %12s %12s %14s %8s %8s\n", "n", "dense_ns", "sparse_ns",
+              "symbolic_ns", "nnz", "fill");
+  std::fprintf(f, "  \"crossover\": [\n");
+  double dense_n64 = 0.0, sparse_n64 = 0.0, sparse_n256 = 0.0;
+  size_t crossover_n = 0;
+  first = true;
+  for (size_t n : xsizes) {
+    const CrossoverRow r = time_crossover(n, quick);
+    std::printf("%6zu %12.1f %12.1f %14.1f %8zu %8zu\n", r.n, r.dense_ns,
+                r.sparse_ns, r.sparse_symbolic_ns, r.nnz, r.fill_in);
+    if (crossover_n == 0 && r.sparse_ns < r.dense_ns) crossover_n = n;
+    if (n == 64) {
+      dense_n64 = r.dense_ns;
+      sparse_n64 = r.sparse_ns;
+    }
+    if (n == 256) sparse_n256 = r.sparse_ns;
+    std::fprintf(f,
+                 "%s    {\"n\": %zu, \"dense_ns\": %.1f, \"sparse_ns\": %.1f,"
+                 " \"sparse_symbolic_ns\": %.1f, \"nnz\": %zu,"
+                 " \"fill_in\": %zu, \"density\": %.4f, \"sparse_wins\": %s}",
+                 first ? "" : ",\n", r.n, r.dense_ns, r.sparse_ns,
+                 r.sparse_symbolic_ns, r.nnz, r.fill_in, r.density,
+                 r.sparse_ns < r.dense_ns ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::printf("crossover: sparse wins from n=%zu; n=64 speedup %.2fx\n",
+              crossover_n, sparse_n64 > 0.0 ? dense_n64 / sparse_n64 : 0.0);
+
+  // Top-level scalars for the check_bench regression gate (both paths).
+  std::fprintf(f, "  \"dense_n64_ns\": %.1f,\n", dense_n64);
+  std::fprintf(f, "  \"sparse_n64_ns\": %.1f,\n", sparse_n64);
+  std::fprintf(f, "  \"sparse_n256_ns\": %.1f,\n", sparse_n256);
+  std::fprintf(f, "  \"sparse_speedup_n64\": %.2f,\n",
+               sparse_n64 > 0.0 ? dense_n64 / sparse_n64 : 0.0);
+  std::fprintf(f, "  \"crossover_n\": %zu,\n", crossover_n);
+
+  // AC assembly comparison + the allocation audit on a real sweep (small
+  // ladder: dense fused path).
   Circuit ckt = make_rc_ladder(10);
   (void)dc_operating_point(ckt);
   KernelStats ks;
   (void)ac_analysis(ckt, 1.0, 1e6, 40, &ks);
   AcKernel kern(ckt);
   std::vector<std::complex<double>> xc(kern.dim());
-  const double fused_ns = time_ns_per_op(5000, [&] {
+  const int ac_iters = quick ? 500 : 5000;
+  const double fused_ns = time_ns_per_op(ac_iters, [&] {
     kern.assemble(1e4);
     kern.solve_into(xc);
     benchmark::DoNotOptimize(xc.data());
   });
   MnaComplex mna(ckt.dim());
-  const double virt_ns = time_ns_per_op(5000, [&] {
+  const double virt_ns = time_ns_per_op(ac_iters, [&] {
     mna.clear();
     for (const auto& dev : ckt.devices()) dev->stamp_ac(mna, 1e4);
     for (size_t i = 0; i < ckt.num_nodes(); ++i) {
@@ -275,10 +501,49 @@ int write_json() {
   std::fprintf(f,
                "  \"ac_sweep_audit\": {\"points_fused\": %ld, "
                "\"points_virtual\": %ld, \"factorizations\": %ld, "
-               "\"workspace_bytes\": %zu, \"workspace_regrowths\": %ld}\n}\n",
+               "\"workspace_bytes\": %zu, \"workspace_regrowths\": %ld},\n",
                ks.ac_points_fused, ks.ac_points_virtual, ks.factorizations,
                ks.workspace_bytes, ks.workspace_regrowths);
+
+  // Sparse sweep audits on a 120-stage ladder (dim 122): the Auto policy
+  // must engage the sparse path on its own, the symbolic factorization
+  // must be reused across every Newton iteration / AC point, no solve
+  // may fall back to dense, and the steady-state loops must stay
+  // allocation-free (workspace_regrowths == 0) — the committed JSON is
+  // the acceptance record for all four claims.
+  Circuit big = make_rc_ladder(120);
+  ConvergenceReport rep;
+  DcOptions dopts;
+  dopts.report = &rep;
+  (void)dc_operating_point(big, dopts);
+  const KernelStats& dks = rep.kernel;
+  std::fprintf(f,
+               "  \"sparse_dc_audit\": {\"dim\": %zu, "
+               "\"symbolic_analyses\": %ld, \"symbolic_reuses\": %ld, "
+               "\"numeric_refactors\": %ld, \"sparse_fallbacks\": %ld, "
+               "\"dense_factorizations\": %ld, \"nnz\": %zu, "
+               "\"fill_in\": %zu, \"workspace_regrowths\": %ld},\n",
+               big.dim(), dks.symbolic_analyses, dks.symbolic_reuses,
+               dks.numeric_refactors, dks.sparse_fallbacks, dks.factorizations,
+               dks.sparse_nnz, dks.sparse_fill_in, dks.workspace_regrowths);
+  KernelStats aks;
+  (void)ac_analysis(big, 1.0, 1e6, quick ? 10 : 40, &aks);
+  std::fprintf(f,
+               "  \"sparse_ac_audit\": {\"dim\": %zu, \"points_fused\": %ld, "
+               "\"symbolic_analyses\": %ld, \"symbolic_reuses\": %ld, "
+               "\"numeric_refactors\": %ld, \"sparse_fallbacks\": %ld, "
+               "\"dense_factorizations\": %ld, \"nnz\": %zu, "
+               "\"fill_in\": %zu, \"workspace_regrowths\": %ld}\n}\n",
+               big.dim(), aks.ac_points_fused, aks.symbolic_analyses,
+               aks.symbolic_reuses, aks.numeric_refactors, aks.sparse_fallbacks,
+               aks.factorizations, aks.sparse_nnz, aks.sparse_fill_in,
+               aks.workspace_regrowths);
   std::fclose(f);
+  std::printf("sparse dc audit: analyses=%ld reuses=%ld refactors=%ld "
+              "fallbacks=%ld regrowths=%ld\n",
+              dks.symbolic_analyses, dks.symbolic_reuses,
+              dks.numeric_refactors, dks.sparse_fallbacks,
+              dks.workspace_regrowths);
   std::printf("wrote BENCH_spice_kernel.json\n");
   return 0;
 }
@@ -286,9 +551,18 @@ int write_json() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      for (int k = i; k + 1 < argc; ++k) argv[k] = argv[k + 1];
+      --argc;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!quick) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return write_json();
+  return write_json(quick);
 }

@@ -5,10 +5,13 @@
 #         -DBASELINE=<committed BENCH_ape_speed.json> \
 #         -P bench/check_bench.cmake
 #
-# Compares the throughput / latency metrics of a fresh bench_ape_speed
-# run against the committed baseline and FATAL_ERRORs when any metric
-# regressed by more than 20%. Improvements and noise inside the band
-# pass. Requires CMake >= 3.19 (string(JSON ...)).
+# Compares the throughput / latency metrics of a fresh bench run against
+# the committed baseline and FATAL_ERRORs when any metric regressed by
+# more than 20%. Improvements and noise inside the band pass. The same
+# script serves every trajectory file (BENCH_ape_speed.json,
+# BENCH_spice_kernel.json): metrics absent from either side are skipped,
+# so each file is gated only on the metrics it actually records.
+# Requires CMake >= 3.19 (string(JSON ...)).
 
 cmake_minimum_required(VERSION 3.19)
 
@@ -88,9 +91,30 @@ function(check_metric name direction)
   endif()
 endfunction()
 
+# -- BENCH_ape_speed.json metrics ------------------------------------------
 check_metric(serial_jobs_per_second HIGHER_IS_BETTER)
-check_metric(pooled_jobs_per_second HIGHER_IS_BETTER)
+
+# The pooled figure is only a speedup claim when the recording machine
+# actually had more than one hardware thread; the bench records that as
+# parallel_speedup_valid. On a single-thread machine the pool degenerates
+# to serial-with-overhead, so gating pooled throughput would fail PRs for
+# hardware reasons — skip it loudly instead of silently passing nonsense.
+string(JSON cur_psv ERROR_VARIABLE cur_psv_err GET "${cur_json}" parallel_speedup_valid)
+if(NOT cur_psv_err AND (cur_psv STREQUAL "OFF" OR cur_psv STREQUAL "false" OR cur_psv STREQUAL "0"))
+  message(WARNING
+    "check_bench: \"parallel_speedup_valid\": false in ${CURRENT} — "
+    "skipping the pooled_jobs_per_second speedup gate (the run had a "
+    "single hardware thread, so serial-vs-pooled is not a speedup claim)")
+else()
+  check_metric(pooled_jobs_per_second HIGHER_IS_BETTER)
+endif()
+
 check_metric(estimate_path_us LOWER_IS_BETTER)
+
+# -- BENCH_spice_kernel.json metrics (dense AND sparse LU paths) -----------
+check_metric(dense_n64_ns LOWER_IS_BETTER)
+check_metric(sparse_n64_ns LOWER_IS_BETTER)
+check_metric(sparse_n256_ns LOWER_IS_BETTER)
 
 if(failed)
   message(FATAL_ERROR "check_bench: performance regression detected")

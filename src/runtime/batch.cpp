@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 
 #include "src/lint/lint.h"
@@ -36,11 +37,17 @@ int resolve_threads(int requested) {
 /// (inline when threads == 1), storing into \p results[i]. Each job is
 /// wrapped with its own ErrorContext frame (re-anchored to the chain open
 /// on the calling thread) and its ape::Errors are captured per job.
+/// Every job also runs under its own ambient KernelStats sink; the
+/// per-job tallies are merged into \p kernel_agg under a mutex. Counter
+/// merging is a commutative sum (max for the byte gauges), so the
+/// aggregate is thread-count invariant like the job outcomes themselves.
 template <class Result, class Job>
 void fan_out(size_t n, int threads, const char* label,
-             std::vector<Result>& results, const Job& job) {
+             std::vector<Result>& results, KernelStats& kernel_agg,
+             const Job& job) {
   results.resize(n);
   const std::string parent = ErrorContext::chain();
+  std::mutex agg_mu;
 
   auto run_one = [&](size_t i) {
     Result r;
@@ -48,15 +55,23 @@ void fan_out(size_t n, int threads, const char* label,
     const std::string frame =
         std::string(label) + "[" + std::to_string(i) + "]";
     ErrorContext scope(parent.empty() ? frame : parent + " -> " + frame);
-    try {
-      r.outcome = job(i);
-      r.ok = true;
-    } catch (const Error& e) {
-      r.error = e.what();
-    } catch (const std::exception& e) {
-      // Non-ape exceptions (bad_alloc, logic errors) are still isolated
-      // per job; annotate manually since only ape::Error self-annotates.
-      r.error = annotate_with_context(e.what());
+    KernelStats job_kernel;
+    {
+      ScopedKernelStatsSink sink(job_kernel);
+      try {
+        r.outcome = job(i);
+        r.ok = true;
+      } catch (const Error& e) {
+        r.error = e.what();
+      } catch (const std::exception& e) {
+        // Non-ape exceptions (bad_alloc, logic errors) are still isolated
+        // per job; annotate manually since only ape::Error self-annotates.
+        r.error = annotate_with_context(e.what());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      kernel_agg.accumulate(job_kernel);
     }
     return r;
   };
@@ -145,7 +160,8 @@ OpAmpBatchResult run_opamp_batch(const est::Process& proc,
       options.cache != nullptr ? options.cache->stats() : CacheStats{};
 
   OpAmpBatchResult out;
-  fan_out(specs.size(), threads, "opamp_batch", out.jobs, [&](size_t i) {
+  fan_out(specs.size(), threads, "opamp_batch", out.jobs,
+          out.stats.kernel, [&](size_t i) {
     return detail::run_one_opamp(proc, specs[i], i, options);
   });
   for (const auto& j : out.jobs) {
@@ -164,7 +180,8 @@ ModuleBatchResult run_module_batch(const est::Process& proc,
       options.cache != nullptr ? options.cache->stats() : CacheStats{};
 
   ModuleBatchResult out;
-  fan_out(specs.size(), threads, "module_batch", out.jobs, [&](size_t i) {
+  fan_out(specs.size(), threads, "module_batch", out.jobs,
+          out.stats.kernel, [&](size_t i) {
     return detail::run_one_module(proc, specs[i], i, options);
   });
   for (const auto& j : out.jobs) {
@@ -183,7 +200,8 @@ OpAmpEstimateBatchResult estimate_opamp_batch(
       options.cache != nullptr ? options.cache->stats() : CacheStats{};
 
   OpAmpEstimateBatchResult out;
-  fan_out(specs.size(), threads, "opamp_estimate", out.jobs, [&](size_t i) {
+  fan_out(specs.size(), threads, "opamp_estimate", out.jobs,
+          out.stats.kernel, [&](size_t i) {
     lint_gate(options.lint_first, proc, specs[i]);
     if (options.cache != nullptr) return options.cache->opamp(proc, specs[i]);
     return std::make_shared<const est::OpAmpDesign>(
@@ -202,7 +220,8 @@ ModuleEstimateBatchResult estimate_module_batch(
       options.cache != nullptr ? options.cache->stats() : CacheStats{};
 
   ModuleEstimateBatchResult out;
-  fan_out(specs.size(), threads, "module_estimate", out.jobs, [&](size_t i) {
+  fan_out(specs.size(), threads, "module_estimate", out.jobs,
+          out.stats.kernel, [&](size_t i) {
     lint_gate(options.lint_first, proc, specs[i]);
     if (options.cache != nullptr) return options.cache->module(proc, specs[i]);
     return std::make_shared<const est::ModuleDesign>(

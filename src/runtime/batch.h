@@ -27,6 +27,7 @@
 #include "src/estimator/process.h"
 #include "src/runtime/cache.h"
 #include "src/synth/astrx.h"
+#include "src/util/diagnostics.h"
 
 namespace ape::runtime {
 
@@ -72,6 +73,14 @@ struct BatchStats {
   double wall_seconds = 0.0;
   double jobs_per_second = 0.0;
   CacheStats cache;        ///< cache delta attributable to this batch
+  /// Solver-kernel counters summed over every job in the batch (each job
+  /// runs under its own ambient KernelStats sink; per-job tallies are
+  /// merged with KernelStats::accumulate, so the counter sums are
+  /// bit-identical at any thread count). Newton iterations, LU
+  /// factorizations, fused AC points, and the sparse-path counters
+  /// (symbolic analyses/reuses, numeric refactorizations, fallbacks)
+  /// all surface here.
+  KernelStats kernel;
 };
 
 struct OpAmpBatchResult {

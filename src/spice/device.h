@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/util/matrix.h"
+#include "src/util/sparse.h"
 
 namespace ape::spice {
 
@@ -40,6 +41,7 @@ public:
   /// Add \p value at (i, j), ignoring ground rows/columns.
   void add(NodeId i, NodeId j, double value) {
     if (i == kGround || j == kGround) return;
+    if (recorder_ != nullptr) recorder_->add(i, j);
     g_(static_cast<size_t>(i), static_cast<size_t>(j)) += value;
   }
   /// Add \p value to the right-hand side at row \p i.
@@ -47,6 +49,12 @@ public:
     if (i == kGround) return;
     rhs_[static_cast<size_t>(i)] += value;
   }
+
+  /// Attach (or detach with nullptr) a sparsity-pattern recorder: every
+  /// subsequent add() also registers its (i, j) slot. The kernel records
+  /// *stamp calls*, not nonzero values, so a device stamping an exact
+  /// 0.0 (a cutoff MOSFET's gm) still claims its structural slot.
+  void set_recorder(SparsePattern* rec) { recorder_ = rec; }
 
   RealMatrix& matrix() { return g_; }
   const RealMatrix& matrix() const { return g_; }
@@ -56,6 +64,7 @@ public:
 private:
   RealMatrix g_;
   std::vector<double> rhs_;
+  SparsePattern* recorder_ = nullptr;  ///< optional, not owned
 };
 
 /// Complex MNA system for small-signal AC analysis.
@@ -70,12 +79,17 @@ public:
   }
   void add(NodeId i, NodeId j, std::complex<double> value) {
     if (i == kGround || j == kGround) return;
+    if (recorder_ != nullptr) recorder_->add(i, j);
     g_(static_cast<size_t>(i), static_cast<size_t>(j)) += value;
   }
   void add_rhs(NodeId i, std::complex<double> value) {
     if (i == kGround) return;
     rhs_[static_cast<size_t>(i)] += value;
   }
+
+  /// Attach (or detach with nullptr) a sparsity-pattern recorder; see
+  /// MnaReal::set_recorder.
+  void set_recorder(SparsePattern* rec) { recorder_ = rec; }
 
   ComplexMatrix& matrix() { return g_; }
   const ComplexMatrix& matrix() const { return g_; }
@@ -85,6 +99,7 @@ public:
 private:
   ComplexMatrix g_;
   std::vector<std::complex<double>> rhs_;
+  SparsePattern* recorder_ = nullptr;  ///< optional, not owned
 };
 
 /// One equivalent noise-current source between two nodes, with a white

@@ -8,6 +8,26 @@
 namespace ape::spice {
 
 // ---------------------------------------------------------------------------
+// Kernel policy (ambient, thread-local — see the THREAD-SAFETY RULE in
+// src/util/diagnostics.h).
+
+namespace {
+thread_local const KernelPolicy* g_ambient_policy = nullptr;
+}  // namespace
+
+const KernelPolicy& kernel_policy() {
+  static const KernelPolicy kDefault;
+  return g_ambient_policy != nullptr ? *g_ambient_policy : kDefault;
+}
+
+ScopedKernelPolicy::ScopedKernelPolicy(const KernelPolicy& policy)
+    : previous_(g_ambient_policy) {
+  g_ambient_policy = &policy;
+}
+
+ScopedKernelPolicy::~ScopedKernelPolicy() { g_ambient_policy = previous_; }
+
+// ---------------------------------------------------------------------------
 // SolveWorkspace
 
 SolveWorkspace::SolveWorkspace(Circuit& ckt)
@@ -19,11 +39,37 @@ SolveWorkspace::SolveWorkspace(Circuit& ckt)
   lu_.reserve(dim_);
   xnew_.assign(dim_, 0.0);
   zero_x_.x.assign(dim_, 0.0);
+  begin_capture();
   setup_bytes_ = measured_bytes();
   stats_.workspace_bytes = setup_bytes_;
 }
 
+SolveWorkspace::~SolveWorkspace() {
+  if (KernelStats* sink = ambient_kernel_sink()) sink->accumulate(stats());
+}
+
+void SolveWorkspace::begin_capture() {
+  pattern_.reset(dim_);
+  base_.set_recorder(&pattern_);
+  mna_.set_recorder(&pattern_);
+  frozen_ = false;
+  use_sparse_ = false;
+  sparse_bytes_settled_ = false;
+}
+
+void SolveWorkspace::note_baseline_kind(BaselineKind kind) {
+  if (baseline_kind_ == kind) return;
+  // DC and transient baselines stamp different structural slots (a
+  // capacitor is open at DC but conducts geq in transient), so a frozen
+  // pattern from the other family would silently drop slots. Reopen the
+  // capture; the next solve refreezes. In practice each analysis owns
+  // its workspace and this fires exactly once, before the first solve.
+  if (baseline_kind_ != BaselineKind::None) begin_capture();
+  baseline_kind_ = kind;
+}
+
 void SolveWorkspace::build_dc_baseline(double gmin, double src_scale) {
+  note_baseline_kind(BaselineKind::Dc);
   base_.clear();
   for (const Device* d : ckt_->linear_devices()) d->stamp_dc(base_, zero_x_, src_scale);
   for (size_t i = 0; i < n_nodes_; ++i) {
@@ -33,6 +79,7 @@ void SolveWorkspace::build_dc_baseline(double gmin, double src_scale) {
 }
 
 void SolveWorkspace::build_tran_baseline(const TranContext& tc) {
+  note_baseline_kind(BaselineKind::Tran);
   base_.clear();
   for (const Device* d : ckt_->linear_devices()) d->stamp_tran(base_, zero_x_, tc);
   for (size_t i = 0; i < n_nodes_; ++i) {
@@ -60,7 +107,73 @@ void SolveWorkspace::assemble_tran(const Solution& x, const TranContext& tc) {
   stats_.nonlinear_stamps += static_cast<long>(ckt_->nonlinear_devices().size());
 }
 
+void SolveWorkspace::freeze_pattern() {
+  // The first assembly has been seen: every linear + gmin + nonlinear
+  // stamp registered its structural slot (stamp *calls*, not values, so
+  // a cutoff device's 0.0 entries are included). Detach the recorder —
+  // later assemblies revisit the same slots by construction.
+  base_.set_recorder(nullptr);
+  mna_.set_recorder(nullptr);
+  pattern_.finalize();
+  use_sparse_ = kernel_policy().wants_sparse(dim_, pattern_.density());
+  if (use_sparse_) {
+    flat_idx_.resize(pattern_.nnz());
+    svals_.resize(pattern_.nnz());
+    const std::vector<int>& rp = pattern_.row_ptr();
+    const std::vector<int>& cols = pattern_.cols();
+    for (size_t r = 0; r < dim_; ++r) {
+      for (int s = rp[r]; s < rp[r + 1]; ++s) {
+        flat_idx_[s] = r * dim_ + static_cast<size_t>(cols[s]);
+      }
+    }
+  }
+  frozen_ = true;
+  // The capture / freeze machinery (pattern CSR arrays, gather buffers)
+  // allocated between construction and this first solve; fold it into
+  // the setup footprint so the regrowth audit only flags growth in the
+  // steady-state Newton loop. The sparse factor storage settles
+  // separately after the first symbolic factorization.
+  setup_bytes_ = measured_bytes();
+  stats_.workspace_bytes = setup_bytes_;
+}
+
+void SolveWorkspace::sync_sparse_stats() {
+  const SparseLuStats& s = slu_.stats();
+  stats_.symbolic_analyses = s.symbolic_analyses;
+  stats_.symbolic_reuses = s.symbolic_reuses;
+  stats_.numeric_refactors = s.numeric_refactors;
+  stats_.sparse_nnz = s.nnz;
+  stats_.sparse_fill_in = s.fill_in;
+}
+
 const std::vector<double>& SolveWorkspace::solve() {
+  if (!frozen_) freeze_pattern();
+  if (use_sparse_) {
+    const double* a = mna_.matrix().data();
+    for (size_t s = 0; s < flat_idx_.size(); ++s) svals_[s] = a[flat_idx_[s]];
+    try {
+      slu_.factorize(pattern_, svals_);
+      slu_.solve_into(mna_.rhs(), xnew_);
+      ++stats_.solves;
+      sync_sparse_stats();
+      if (!sparse_bytes_settled_) {
+        // The sparse buffers (symbolic program, factor storage) are
+        // allocated during this first factorization — fold them into the
+        // setup footprint so the regrowth audit only flags growth in the
+        // steady-state (refactor/solve) loop.
+        sparse_bytes_settled_ = true;
+        setup_bytes_ = measured_bytes();
+        stats_.workspace_bytes = setup_bytes_;
+      }
+      return xnew_;
+    } catch (const NumericError&) {
+      // Stale pivot ordering (Newton moved the values) or a genuinely
+      // singular system: the dense solver below re-pivots from scratch
+      // and throws its own NumericError if the system really is singular.
+      ++stats_.sparse_fallbacks;
+      sync_sparse_stats();
+    }
+  }
   lu_.factorize(mna_.matrix());
   ++stats_.factorizations;
   lu_.solve_into(mna_.rhs(), xnew_);
@@ -72,7 +185,8 @@ size_t SolveWorkspace::measured_bytes() const {
   const size_t d = sizeof(double);
   return (mna_.matrix().size() + base_.matrix().size() + lu_.size() * lu_.size()) * d +
          (mna_.rhs().size() + base_.rhs().size() + xnew_.size() + zero_x_.x.size()) * d +
-         lu_.size() * sizeof(size_t);
+         lu_.size() * sizeof(size_t) + pattern_.memory_bytes() + slu_.memory_bytes() +
+         svals_.capacity() * d + flat_idx_.capacity() * sizeof(size_t);
 }
 
 const KernelStats& SolveWorkspace::stats() {
@@ -95,8 +209,13 @@ AcKernel::AcKernel(Circuit& ckt) : ckt_(&ckt), dim_((ckt.finalize(), ckt.dim()))
 
   // Every shipped device's small-signal stamp is affine in w:
   //   A(w) = G + jwC with real G, C and a w-independent stimulus.
-  // One stamp pass at w = 1 therefore yields G = Re(A), C = Im(A).
+  // One stamp pass at w = 1 therefore yields G = Re(A), C = Im(A). The
+  // same pass records the structural slot pattern for the sparse path.
+  pattern_.reset(dim_);
+  mna_.set_recorder(&pattern_);
   stamp_virtual(1.0);
+  mna_.set_recorder(nullptr);
+  pattern_.finalize();
   const std::complex<double>* a = mna_.matrix().data();
   for (size_t i = 0; i < g_.size(); ++i) {
     g_[i] = a[i].real();
@@ -120,8 +239,33 @@ AcKernel::AcKernel(Circuit& ckt) : ckt_(&ckt), dim_((ckt.finalize(), ckt.dim()))
     if (std::abs(mna_.rhs()[i] - rhs0_[i]) > tol) exact_split_ = false;
   }
 
+  // Sparse sweep path: only meaningful with a validated split (the
+  // virtual-restamp fallback rebuilds the dense matrix anyway). Gather
+  // the per-slot SoA G / C arrays so each frequency point assembles with
+  // one contiguous O(nnz) loop.
+  use_sparse_ = exact_split_ && kernel_policy().wants_sparse(dim_, pattern_.density());
+  if (use_sparse_) {
+    const size_t nnz = pattern_.nnz();
+    gs_.resize(nnz);
+    cs_.resize(nnz);
+    avals_.resize(nnz);
+    const std::vector<int>& rp = pattern_.row_ptr();
+    const std::vector<int>& cols = pattern_.cols();
+    for (size_t r = 0; r < dim_; ++r) {
+      for (int s = rp[r]; s < rp[r + 1]; ++s) {
+        const size_t flat = r * dim_ + static_cast<size_t>(cols[s]);
+        gs_[s] = g_[flat];
+        cs_[s] = c_[flat];
+      }
+    }
+  }
+
   setup_bytes_ = measured_bytes();
   stats_.workspace_bytes = setup_bytes_;
+}
+
+AcKernel::~AcKernel() {
+  if (KernelStats* sink = ambient_kernel_sink()) sink->accumulate(stats());
 }
 
 void AcKernel::stamp_virtual(double omega) {
@@ -133,12 +277,27 @@ void AcKernel::stamp_virtual(double omega) {
   }
 }
 
+void AcKernel::assemble_dense(double omega) {
+  std::complex<double>* a = mna_.matrix().data();
+  for (size_t i = 0; i < g_.size(); ++i) {
+    a[i] = std::complex<double>(g_[i], omega * c_[i]);
+  }
+}
+
 void AcKernel::assemble(double omega) {
-  if (exact_split_) {
-    std::complex<double>* a = mna_.matrix().data();
-    for (size_t i = 0; i < g_.size(); ++i) {
-      a[i] = std::complex<double>(g_[i], omega * c_[i]);
+  last_omega_ = omega;
+  if (use_sparse_) {
+    // SoA slot assembly: O(nnz) instead of the O(n^2) dense fill, and a
+    // single flat loop the compiler can vectorize across slots. The
+    // dense mna_ matrix is deliberately left stale — the factorization
+    // consumes avals_; the stimulus rhs stays available via mna().rhs().
+    for (size_t s = 0; s < avals_.size(); ++s) {
+      avals_[s] = std::complex<double>(gs_[s], omega * cs_[s]);
     }
+    std::copy(rhs0_.begin(), rhs0_.end(), mna_.rhs().begin());
+    ++stats_.ac_points_fused;
+  } else if (exact_split_) {
+    assemble_dense(omega);
     std::copy(rhs0_.begin(), rhs0_.end(), mna_.rhs().begin());
     ++stats_.ac_points_fused;
   } else {
@@ -148,27 +307,63 @@ void AcKernel::assemble(double omega) {
 }
 
 void AcKernel::factorize() {
+  if (use_sparse_) {
+    try {
+      slu_.factorize(pattern_, avals_);
+      sparse_live_ = true;
+      const SparseLuStats& s = slu_.stats();
+      stats_.symbolic_analyses = s.symbolic_analyses;
+      stats_.symbolic_reuses = s.symbolic_reuses;
+      stats_.numeric_refactors = s.numeric_refactors;
+      stats_.sparse_nnz = s.nnz;
+      stats_.sparse_fill_in = s.fill_in;
+      if (!sparse_bytes_settled_) {
+        // First symbolic factorization allocated the program + factor
+        // storage; fold it into the setup footprint so the regrowth
+        // audit only flags growth in the steady-state sweep loop.
+        sparse_bytes_settled_ = true;
+        setup_bytes_ = measured_bytes();
+        stats_.workspace_bytes = setup_bytes_;
+      }
+      return;
+    } catch (const NumericError&) {
+      // Dense rescue: rebuild the dense system for this point and
+      // re-pivot from scratch (throws if genuinely singular).
+      ++stats_.sparse_fallbacks;
+      sparse_live_ = false;
+      assemble_dense(last_omega_);
+    }
+  }
   lu_.factorize(mna_.matrix());
   ++stats_.factorizations;
 }
 
 void AcKernel::solve_into(std::vector<std::complex<double>>& out) {
   factorize();
-  lu_.solve_into(mna_.rhs(), out);
+  if (sparse_live_) {
+    slu_.solve_into(mna_.rhs(), out);
+  } else {
+    lu_.solve_into(mna_.rhs(), out);
+  }
   ++stats_.solves;
 }
 
 void AcKernel::solve_rhs(const std::vector<std::complex<double>>& rhs,
                          std::vector<std::complex<double>>& out) {
-  lu_.solve_into(rhs, out);
+  if (sparse_live_) {
+    slu_.solve_into(rhs, out);
+  } else {
+    lu_.solve_into(rhs, out);
+  }
   ++stats_.solves;
 }
 
 size_t AcKernel::measured_bytes() const {
   const size_t z = sizeof(std::complex<double>);
-  return (g_.size() + c_.size()) * sizeof(double) +
-         (rhs0_.size() + mna_.rhs().size()) * z +
-         (mna_.matrix().size() + lu_.size() * lu_.size()) * z + lu_.size() * sizeof(size_t);
+  return (g_.size() + c_.size() + gs_.capacity() + cs_.capacity()) * sizeof(double) +
+         (rhs0_.size() + mna_.rhs().size() + avals_.capacity()) * z +
+         (mna_.matrix().size() + lu_.size() * lu_.size()) * z + lu_.size() * sizeof(size_t) +
+         pattern_.memory_bytes() + slu_.memory_bytes();
 }
 
 const KernelStats& AcKernel::stats() {

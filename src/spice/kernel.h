@@ -26,6 +26,17 @@
 ///   ever breaks that contract the kernel falls back to per-point
 ///   virtual stamping and counts it in KernelStats::ac_points_virtual.
 ///
+/// Both workspaces additionally carry a *sparse* factorization path
+/// (src/util/sparse.h, DESIGN.md section 13): the stamp recorder on
+/// MnaReal/MnaComplex captures the structural slot pattern once per
+/// topology, a Markowitz symbolic factorization is done once and then
+/// *reused* — each Newton iteration / AC point only gathers slot values
+/// and replays the compiled elimination program. A crossover heuristic
+/// (KernelPolicy) keeps tiny systems on the dense path, where flat
+/// O(n^3) loops still win; a sparse refactor whose pivots collapse
+/// (stale ordering) falls back to the dense solver for that solve and
+/// counts KernelStats::sparse_fallbacks.
+///
 /// Ownership / thread-safety: a workspace borrows the Circuit it was
 /// compiled from and is valid for one analysis call on one thread; it
 /// holds no state that outlives the call. Under the batch runtime each
@@ -40,8 +51,61 @@
 #include "src/spice/circuit.h"
 #include "src/util/diagnostics.h"
 #include "src/util/matrix.h"
+#include "src/util/sparse.h"
 
 namespace ape::spice {
+
+// ---------------------------------------------------------------------------
+// Dense / sparse path selection.
+
+/// Which factorization path a solver workspace uses.
+enum class KernelPath {
+  Auto,        ///< crossover heuristic: sparse for large, sparse systems
+  ForceDense,  ///< always the dense LuSolver (the pre-sparse behaviour)
+  ForceSparse, ///< always the sparse path (equivalence tests)
+};
+
+/// Crossover policy for KernelPath::Auto. Dense LU wins at tiny n — the
+/// flat O(n^3) loops beat the sparse machinery's indirection until the
+/// system is both big enough and sparse enough; the defaults keep every
+/// opamp estimate testbench (dim ~15-30) on the proven dense path and
+/// were chosen from the bench_spice_kernel crossover table
+/// (BENCH_spice_kernel.json).
+struct KernelPolicy {
+  KernelPath path = KernelPath::Auto;
+  size_t sparse_min_dim = 48;        ///< Auto: dense below this dimension
+  double sparse_max_density = 0.35;  ///< Auto: dense above this pattern density
+
+  /// The Auto decision for a frozen pattern of \p dim / \p density.
+  bool wants_sparse(size_t dim, double density) const {
+    switch (path) {
+      case KernelPath::ForceDense: return false;
+      case KernelPath::ForceSparse: return true;
+      case KernelPath::Auto: break;
+    }
+    return dim >= sparse_min_dim && density <= sparse_max_density;
+  }
+};
+
+/// The policy in effect on this thread (the ambient override installed
+/// by ScopedKernelPolicy, or the defaults).
+const KernelPolicy& kernel_policy();
+
+/// RAII installation of a KernelPolicy on the current thread (same
+/// discipline as ScopedJobBudget: nesting replaces, exit restores, the
+/// policy is not owned). Workspaces snapshot the policy when they freeze
+/// their pattern, so install it before the analysis call.
+class ScopedKernelPolicy {
+public:
+  explicit ScopedKernelPolicy(const KernelPolicy& policy);
+  ~ScopedKernelPolicy();
+
+  ScopedKernelPolicy(const ScopedKernelPolicy&) = delete;
+  ScopedKernelPolicy& operator=(const ScopedKernelPolicy&) = delete;
+
+private:
+  const KernelPolicy* previous_;
+};
 
 /// Reusable real-MNA solve workspace with a compiled linear baseline.
 ///
@@ -78,13 +142,26 @@ public:
   /// Throws NumericError on a singular system.
   const std::vector<double>& solve();
 
-  /// The assembled system (for fault-injection probes).
+  /// The assembled system (for fault-injection probes). Always fully
+  /// assembled dense, even on the sparse path: the sparse solve gathers
+  /// its slot values *from* this matrix, so a probe poking any pattern
+  /// slot (the (0, 0) gmin diagonal included) reaches both paths.
   MnaReal& mna() { return mna_; }
+
+  /// True once the pattern froze onto the sparse factorization path
+  /// (after the first solve; see the symbolic-reuse lifecycle in
+  /// DESIGN.md section 13).
+  bool sparse_path() const { return use_sparse_; }
 
   /// Counters accumulated since construction; callers snapshot this into
   /// ConvergenceReport::kernel. Reading refreshes the allocation audit
   /// (workspace_bytes / workspace_regrowths).
   const KernelStats& stats();
+
+  /// Flushes stats() into the thread's ambient kernel-stats sink, if one
+  /// is installed (ScopedKernelStatsSink) — how the batch runtime sees
+  /// kernel work from jobs that never expose a ConvergenceReport.
+  ~SolveWorkspace();
 
 private:
   /// The gmin diagonal every transient / AC system gets so capacitively
@@ -92,7 +169,16 @@ private:
   /// inline at each assembly site).
   static constexpr double kFloatingNodeGmin = 1e-12;
 
+  /// Which baseline family the frozen pattern was captured under. DC and
+  /// transient baselines stamp different structural slots (capacitors
+  /// are open at DC), so switching families reopens the capture.
+  enum class BaselineKind { None, Dc, Tran };
+
   void restore_baseline();
+  void begin_capture();
+  void freeze_pattern();
+  void note_baseline_kind(BaselineKind kind);
+  void sync_sparse_stats();
   size_t measured_bytes() const;
 
   Circuit* ckt_;
@@ -100,11 +186,24 @@ private:
   size_t n_nodes_;
   MnaReal mna_;                    ///< assembled system
   MnaReal base_;                   ///< compiled linear baseline (G0, RHS0)
-  LuSolver<double> lu_;            ///< in-place factorization storage
+  LuSolver<double> lu_;            ///< dense factorization (and sparse rescue)
   std::vector<double> xnew_;       ///< solution buffer
   Solution zero_x_;                ///< dummy operating point for linear stamps
   KernelStats stats_;
   size_t setup_bytes_ = 0;         ///< workspace footprint right after setup
+
+  // Sparse path (DESIGN.md section 13): pattern captured by the stamp
+  // recorder until the first solve, then frozen; per-solve the values are
+  // gathered from the dense mna_ storage through flat_idx_ and handed to
+  // the reusable-symbolic sparse LU.
+  SparsePattern pattern_;
+  SparseLuReal slu_;
+  std::vector<double> svals_;      ///< gathered slot values (CSR order)
+  std::vector<size_t> flat_idx_;   ///< slot -> dense row-major index
+  BaselineKind baseline_kind_ = BaselineKind::None;
+  bool frozen_ = false;
+  bool use_sparse_ = false;
+  bool sparse_bytes_settled_ = false;  ///< setup_bytes_ recomputed post-freeze
 };
 
 // ---------------------------------------------------------------------------
@@ -147,12 +246,20 @@ public:
   /// reverted to per-point virtual stamping.
   bool exact_split() const { return exact_split_; }
 
+  /// True when the kernel factorizes through the sparse path (requires
+  /// an exact split; decided once at construction from kernel_policy()).
+  bool sparse_path() const { return use_sparse_; }
+
   const KernelStats& stats();
+
+  /// Flushes stats() into the thread's ambient kernel-stats sink, if any.
+  ~AcKernel();
 
 private:
   static constexpr double kFloatingNodeGmin = 1e-12;
 
   void stamp_virtual(double omega);
+  void assemble_dense(double omega);
   size_t measured_bytes() const;
 
   Circuit* ckt_;
@@ -165,6 +272,20 @@ private:
   bool exact_split_ = true;
   KernelStats stats_;
   size_t setup_bytes_ = 0;
+
+  // Sparse sweep path: SoA per-slot G / C arrays (structure-of-arrays,
+  // so the per-point assembly a[s] = gs[s] + jw*cs[s] is one contiguous
+  // vectorizable loop of O(nnz) instead of the O(n^2) dense fill).
+  SparsePattern pattern_;
+  SparseLuComplex slu_;
+  std::vector<double> gs_;         ///< per-slot Re part (pattern order)
+  std::vector<double> cs_;         ///< per-slot dA/d(jw) (pattern order)
+  std::vector<std::complex<double>> avals_;  ///< assembled slot values
+  bool use_sparse_ = false;
+  bool sparse_live_ = false;       ///< last factorization was sparse
+  bool sparse_bytes_settled_ = false;  ///< setup_bytes_ recomputed after the
+                                       ///< first symbolic factorization
+  double last_omega_ = 0.0;        ///< for the dense rescue re-assembly
 };
 
 }  // namespace ape::spice

@@ -17,11 +17,12 @@ std::vector<std::string>& context_stack() {
   return stack;
 }
 
-/// The per-thread ambient job budget / solver relaxation slots (see the
-/// THREAD-SAFETY RULE in diagnostics.h: these are two of the four
-/// sanctioned thread_local instances).
+/// The per-thread ambient job budget / solver relaxation / kernel stats
+/// sink slots (see the THREAD-SAFETY RULE in diagnostics.h: these are
+/// three of the six sanctioned thread_local instances).
 thread_local const RunBudget* g_ambient_budget = nullptr;
 thread_local const SolverRelaxation* g_ambient_relaxation = nullptr;
+thread_local KernelStats* g_ambient_kernel_sink = nullptr;
 
 }  // namespace
 
@@ -69,6 +70,12 @@ void KernelStats::accumulate(const KernelStats& o) {
   ac_points_virtual += o.ac_points_virtual;
   workspace_bytes = std::max(workspace_bytes, o.workspace_bytes);
   workspace_regrowths += o.workspace_regrowths;
+  symbolic_analyses += o.symbolic_analyses;
+  symbolic_reuses += o.symbolic_reuses;
+  numeric_refactors += o.numeric_refactors;
+  sparse_fallbacks += o.sparse_fallbacks;
+  sparse_nnz = std::max(sparse_nnz, o.sparse_nnz);
+  sparse_fill_in = std::max(sparse_fill_in, o.sparse_fill_in);
 }
 
 std::string KernelStats::summary() const {
@@ -82,6 +89,13 @@ std::string KernelStats::summary() const {
   if (ac_points_virtual > 0) os << " ac_virtual=" << ac_points_virtual;
   os << " workspace_bytes=" << workspace_bytes
      << " regrowths=" << workspace_regrowths;
+  if (numeric_refactors > 0) {
+    os << " sparse: analyses=" << symbolic_analyses
+       << " reuses=" << symbolic_reuses
+       << " refactors=" << numeric_refactors
+       << " nnz=" << sparse_nnz << " fill=" << sparse_fill_in;
+    if (sparse_fallbacks > 0) os << " fallbacks=" << sparse_fallbacks;
+  }
   return os.str();
 }
 
@@ -193,5 +207,16 @@ ScopedSolverRelaxation::~ScopedSolverRelaxation() {
 }
 
 const SolverRelaxation* ambient_relaxation() { return g_ambient_relaxation; }
+
+ScopedKernelStatsSink::ScopedKernelStatsSink(KernelStats& sink)
+    : previous_(g_ambient_kernel_sink) {
+  g_ambient_kernel_sink = &sink;
+}
+
+ScopedKernelStatsSink::~ScopedKernelStatsSink() {
+  g_ambient_kernel_sink = previous_;
+}
+
+KernelStats* ambient_kernel_sink() { return g_ambient_kernel_sink; }
 
 }  // namespace ape

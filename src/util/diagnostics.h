@@ -41,8 +41,9 @@
 /// threads — see DESIGN.md section 7): any mutable state reachable from
 /// those paths must be (a) owned by the job (locals / value members
 /// passed explicitly), (b) thread_local (this file's ErrorContext stack,
-/// ambient-budget slot and solver-relaxation slot, plus the
-/// FaultInjector slot in src/spice/fault.h, are the only four
+/// ambient-budget, solver-relaxation and kernel-stats-sink slots, plus
+/// the FaultInjector slot in src/spice/fault.h and the KernelPolicy
+/// slot in src/spice/kernel.h, are the only six
 /// instances), or (c) an explicitly synchronized shared object whose
 /// header documents that property (runtime::MemoCache, RunBudget,
 /// CancelToken, runtime::QuarantineRegistry). A worker thread starts
@@ -112,8 +113,16 @@ struct KernelStats {
   size_t workspace_bytes = 0;    ///< bytes of preallocated solver workspace
   long workspace_regrowths = 0;  ///< times a workspace buffer grew after
                                  ///< setup (0 == allocation-free inner loops)
+  // Sparse-path counters (src/util/sparse.h; 0 on dense-only runs).
+  long symbolic_analyses = 0;    ///< Markowitz order-and-factor passes
+  long symbolic_reuses = 0;      ///< refactors replaying a cached program
+  long numeric_refactors = 0;    ///< sparse numeric factorizations (total)
+  long sparse_fallbacks = 0;     ///< sparse solves rescued by the dense path
+  size_t sparse_nnz = 0;         ///< structural nonzeros (max over workspaces)
+  size_t sparse_fill_in = 0;     ///< L+U fill entries (max over workspaces)
 
-  /// Merge counters from another analysis (max of workspace footprints).
+  /// Merge counters from another analysis (max of workspace footprints
+  /// and sparse pattern sizes; everything else sums).
   void accumulate(const KernelStats& o);
 
   /// One-line human-readable summary for logs / bench output.
@@ -305,5 +314,33 @@ private:
 
 /// The relaxation installed on this thread (nullptr in normal runs).
 const SolverRelaxation* ambient_relaxation();
+
+// ---------------------------------------------------------------------------
+// Ambient (thread-local) kernel-stats sink.
+
+/// RAII installation of a KernelStats accumulator on the current thread.
+/// While installed, every solver workspace (SolveWorkspace / AcKernel in
+/// src/spice/kernel.h) accumulates its counters into the sink when it is
+/// destroyed, in addition to whatever report the analysis call fills in.
+/// This is how the batch runtime attributes kernel work to jobs whose
+/// entry points (estimate_opamp, synthesis anneal, corner cells) never
+/// expose a ConvergenceReport: the job wrapper installs a sink around
+/// the job body and merges the result into BatchStats under a lock.
+/// Same discipline as ScopedJobBudget: nesting replaces, scope exit
+/// restores, the sink is not owned and must outlive the scope.
+class ScopedKernelStatsSink {
+public:
+  explicit ScopedKernelStatsSink(KernelStats& sink);
+  ~ScopedKernelStatsSink();
+
+  ScopedKernelStatsSink(const ScopedKernelStatsSink&) = delete;
+  ScopedKernelStatsSink& operator=(const ScopedKernelStatsSink&) = delete;
+
+private:
+  KernelStats* previous_;
+};
+
+/// The sink installed on this thread (nullptr when none).
+KernelStats* ambient_kernel_sink();
 
 }  // namespace ape

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
+#include <string>
 
 #include "src/estimator/opamp.h"
 #include "src/estimator/verify.h"
 #include "src/spice/analysis.h"
 #include "src/spice/devices.h"
+#include "src/spice/kernel.h"
 #include "src/spice/measure.h"
 #include "src/spice/parser.h"
 #include "src/util/error.h"
@@ -149,6 +152,43 @@ C1 out 0 1u
   const AweModel m = awe_reduce(ckt, "out", 1);
   EXPECT_NEAR(m.dc_gain(), 0.5, 1e-6);
   EXPECT_EQ(m.unity_gain_freq(), 0.0);
+}
+
+TEST(Awe, SparseMomentPathMatchesDense) {
+  // A 40-section RC interconnect ladder is exactly the system the sparse
+  // moment path exists for: forced through both factorizations, the
+  // reduced models must agree on poles, DC gain, and the transfer
+  // function over the band of interest.
+  std::string net = "ladder\nVin n0 0 AC 1\n";
+  for (int i = 0; i < 40; ++i) {
+    net += "R" + std::to_string(i) + " n" + std::to_string(i) + " n" +
+           std::to_string(i + 1) + " 100\n";
+    net += "C" + std::to_string(i) + " n" + std::to_string(i + 1) +
+           " 0 1p\n";
+  }
+  const spice::KernelPolicy force_dense{spice::KernelPath::ForceDense};
+  const spice::KernelPolicy force_sparse{spice::KernelPath::ForceSparse};
+  AweModel dense;
+  {
+    Circuit ckt = spice::parse_netlist(net);
+    (void)spice::dc_operating_point(ckt);
+    spice::ScopedKernelPolicy guard(force_dense);
+    dense = awe_reduce(ckt, "n40", 3);
+  }
+  AweModel sparse;
+  {
+    Circuit ckt = spice::parse_netlist(net);
+    (void)spice::dc_operating_point(ckt);
+    spice::ScopedKernelPolicy guard(force_sparse);
+    sparse = awe_reduce(ckt, "n40", 3);
+  }
+  EXPECT_NEAR(sparse.dc_gain(), dense.dc_gain(), 1e-9 * std::abs(dense.dc_gain()));
+  ASSERT_EQ(sparse.poles().size(), dense.poles().size());
+  for (double f = 1e3; f <= 1e9; f *= 10.0) {
+    const std::complex<double> hd = dense.eval(f);
+    const std::complex<double> hs = sparse.eval(f);
+    EXPECT_LE(std::abs(hd - hs), 1e-12 + 1e-6 * std::abs(hd)) << "f=" << f;
+  }
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "src/spice/devices.h"
 #include "src/spice/fault.h"
 #include "src/spice/kernel.h"
+#include "src/spice/noise.h"
 #include "src/spice/parser.h"
 #include "tests/test_models.h"
 
@@ -481,6 +482,235 @@ TEST(KernelStats_, AccumulateSumsCountersAndMaxesBytes) {
   EXPECT_EQ(a.factorizations, 7);
   EXPECT_EQ(a.ac_points_fused, 7);
   EXPECT_EQ(a.workspace_bytes, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse path equivalence: the same analyses forced through the sparse
+// LU (ScopedKernelPolicy, KernelPath::ForceSparse) must match the dense
+// path to <= 1e-9 relative on every topology, the sparse counters must
+// prove the symbolic factorization was reused (analyses == 1, one
+// refactorization per subsequent solve, zero dense fallbacks), and the
+// workspace must stay allocation-free after the factor storage settles.
+
+const KernelPolicy kForceDense{KernelPath::ForceDense};
+const KernelPolicy kForceSparse{KernelPath::ForceSparse};
+
+void check_sparse_dc(Circuit dense_ckt, Circuit sparse_ckt,
+                     const std::string& what, double rtol, double atol) {
+  Solution dense;
+  {
+    ScopedKernelPolicy guard(kForceDense);
+    dense = dc_operating_point(dense_ckt);
+  }
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  Solution sparse;
+  {
+    ScopedKernelPolicy guard(kForceSparse);
+    sparse = dc_operating_point(sparse_ckt, opts);
+  }
+  expect_close(dense.x, sparse.x, rtol, atol, what);
+  const KernelStats& ks = rep.kernel;
+  EXPECT_EQ(ks.factorizations, 0) << what;  // never rescued by dense LU
+  EXPECT_EQ(ks.sparse_fallbacks, 0) << what;
+  EXPECT_EQ(ks.symbolic_analyses, 1) << what;
+  EXPECT_GT(ks.symbolic_reuses, 0) << what;
+  // Every solve runs the numeric pass; only the first pays the analysis.
+  EXPECT_EQ(ks.numeric_refactors, ks.symbolic_analyses + ks.symbolic_reuses)
+      << what;
+  EXPECT_EQ(ks.solves, rep.newton_iterations) << what;
+  EXPECT_GT(ks.sparse_nnz, 0) << what;
+  EXPECT_EQ(ks.workspace_regrowths, 0) << what;
+}
+
+TEST(SparseEquivalence, DcCurrentMirror) {
+  check_sparse_dc(make_current_mirror(), make_current_mirror(),
+                  "mirror sparse dc", 1e-9, 1e-12);
+}
+
+TEST(SparseEquivalence, DcSallenKey) {
+  check_sparse_dc(make_sallen_key(), make_sallen_key(),
+                  "sallen-key sparse dc", 1e-9, 1e-12);
+}
+
+TEST(SparseEquivalence, DcTwoStageOpampTestbench) {
+  check_sparse_dc(make_opamp_tb(est::OpAmpTb::OpenLoop),
+                  make_opamp_tb(est::OpAmpTb::OpenLoop),
+                  "opamp sparse dc", 1e-9, 1e-9);
+}
+
+void check_sparse_ac(Circuit dense_ckt, Circuit sparse_ckt, double f0,
+                     double f1, int ppd, const std::string& what) {
+  AcResult dense;
+  {
+    ScopedKernelPolicy guard(kForceDense);
+    (void)dc_operating_point(dense_ckt);
+    dense = ac_analysis(dense_ckt, f0, f1, ppd);
+  }
+  AcResult sparse;
+  KernelStats ks;
+  {
+    ScopedKernelPolicy guard(kForceSparse);
+    (void)dc_operating_point(sparse_ckt);
+    sparse = ac_analysis(sparse_ckt, f0, f1, ppd, &ks);
+  }
+  ASSERT_EQ(dense.freq_hz.size(), sparse.freq_hz.size()) << what;
+  const long n = static_cast<long>(sparse.freq_hz.size());
+  EXPECT_EQ(ks.ac_points_fused, n) << what;
+  EXPECT_EQ(ks.factorizations, 0) << what;
+  EXPECT_EQ(ks.sparse_fallbacks, 0) << what;
+  EXPECT_EQ(ks.symbolic_analyses, 1) << what;
+  EXPECT_EQ(ks.symbolic_reuses, n - 1) << what;
+  EXPECT_EQ(ks.workspace_regrowths, 0) << what;
+  for (size_t k = 0; k < dense.freq_hz.size(); ++k) {
+    ASSERT_EQ(dense.solutions[k].size(), sparse.solutions[k].size());
+    for (size_t i = 0; i < dense.solutions[k].size(); ++i) {
+      const double mag = std::max(std::abs(dense.solutions[k][i]),
+                                  std::abs(sparse.solutions[k][i]));
+      EXPECT_LE(std::abs(dense.solutions[k][i] - sparse.solutions[k][i]),
+                1e-12 + 1e-9 * mag)
+          << what << " point " << k << " entry " << i;
+    }
+  }
+}
+
+TEST(SparseEquivalence, AcCurrentMirror) {
+  check_sparse_ac(make_current_mirror(), make_current_mirror(), 1e2, 1e8, 10,
+                  "mirror sparse ac");
+}
+
+TEST(SparseEquivalence, AcSallenKey) {
+  check_sparse_ac(make_sallen_key(), make_sallen_key(), 1.0, 1e6, 20,
+                  "sallen-key sparse ac");
+}
+
+TEST(SparseEquivalence, AcTwoStageOpampTestbench) {
+  check_sparse_ac(make_opamp_tb(est::OpAmpTb::OpenLoop),
+                  make_opamp_tb(est::OpAmpTb::OpenLoop), 1.0, 1e8, 5,
+                  "opamp sparse ac");
+}
+
+void check_sparse_tran(Circuit dense_ckt, Circuit sparse_ckt, double t_step,
+                       double t_stop, double rtol, double atol,
+                       const std::string& what) {
+  TranResult dense;
+  {
+    ScopedKernelPolicy guard(kForceDense);
+    dense = transient(dense_ckt, t_step, t_stop);
+  }
+  TranResult sparse;
+  ConvergenceReport rep;
+  TranOptions opts;
+  opts.report = &rep;
+  {
+    ScopedKernelPolicy guard(kForceSparse);
+    sparse = transient(sparse_ckt, t_step, t_stop, opts);
+  }
+  ASSERT_EQ(dense.time_s.size(), sparse.time_s.size()) << what;
+  EXPECT_EQ(rep.kernel.sparse_fallbacks, 0) << what;
+  EXPECT_GT(rep.kernel.symbolic_reuses, 0) << what;
+  for (size_t k = 0; k < dense.time_s.size(); ++k) {
+    EXPECT_DOUBLE_EQ(dense.time_s[k], sparse.time_s[k]) << what;
+    expect_close(dense.solutions[k].x, sparse.solutions[k].x, rtol, atol,
+                 what + " @t[" + std::to_string(k) + "]");
+  }
+}
+
+TEST(SparseEquivalence, TranSallenKey) {
+  check_sparse_tran(make_sallen_key(), make_sallen_key(), 5e-6, 500e-6, 1e-9,
+                    1e-12, "sallen-key sparse tran");
+}
+
+TEST(SparseEquivalence, TranCurrentMirror) {
+  check_sparse_tran(make_current_mirror(), make_current_mirror(), 1e-6, 50e-6,
+                    1e-9, 1e-11, "mirror sparse tran");
+}
+
+TEST(SparseEquivalence, TranTwoStageOpampUnityStep) {
+  check_sparse_tran(make_opamp_tb(est::OpAmpTb::UnityStep),
+                    make_opamp_tb(est::OpAmpTb::UnityStep), 1e-6, 30e-6, 1e-7,
+                    1e-9, "opamp sparse tran");
+}
+
+TEST(SparseEquivalence, NoiseSallenKey) {
+  NoiseResult dense;
+  {
+    ScopedKernelPolicy guard(kForceDense);
+    Circuit ckt = make_sallen_key();
+    (void)dc_operating_point(ckt);
+    dense = noise_analysis(ckt, "out", 1.0, 1e6, 10, "vin");
+  }
+  NoiseResult sparse;
+  KernelStats ks;
+  {
+    ScopedKernelPolicy guard(kForceSparse);
+    Circuit ckt = make_sallen_key();
+    (void)dc_operating_point(ckt);
+    sparse = noise_analysis(ckt, "out", 1.0, 1e6, 10, "vin", &ks);
+  }
+  ASSERT_EQ(dense.freq_hz.size(), sparse.freq_hz.size());
+  EXPECT_EQ(ks.factorizations, 0);
+  EXPECT_EQ(ks.sparse_fallbacks, 0);
+  EXPECT_EQ(ks.symbolic_analyses, 1);
+  EXPECT_GT(ks.symbolic_reuses, 0);
+  for (size_t k = 0; k < dense.freq_hz.size(); ++k) {
+    EXPECT_LE(std::fabs(dense.out_v2[k] - sparse.out_v2[k]),
+              1e-30 + 1e-9 * dense.out_v2[k])
+        << "noise point " << k;
+    EXPECT_LE(std::fabs(dense.in_v2[k] - sparse.in_v2[k]),
+              1e-30 + 1e-9 * dense.in_v2[k])
+        << "input-referred point " << k;
+  }
+}
+
+// The fault-injection hooks (DESIGN.md section 10) act on the assembled
+// dense MNA image that the sparse path gathers from, so poisons and
+// injected singularities must keep firing — and the recovery ladder must
+// keep recovering — with the sparse LU forced on.
+
+TEST(SparseEquivalence, AssemblyPoisonFiresOnSparsePath) {
+  ScopedKernelPolicy policy(kForceSparse);
+  Circuit ckt = make_current_mirror();
+  FaultInjector fi;
+  fi.poison_stamp(1);
+  ScopedFaultInjection guard(fi);
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  const Solution sol = dc_operating_point(ckt, opts);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(fi.counts().injected_nonfinite, 1);
+  EXPECT_EQ(rep.nonfinite_rejections, 1);
+  EXPECT_TRUE(ref_all_finite(sol.x));
+  EXPECT_GT(rep.kernel.symbolic_reuses, 0);
+}
+
+TEST(SparseEquivalence, LuSolveHookFiresOnSparsePath) {
+  ScopedKernelPolicy policy(kForceSparse);
+  Circuit ckt = make_current_mirror();
+  FaultInjector fi;
+  fi.fail_lu(0);
+  ScopedFaultInjection guard(fi);
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  (void)dc_operating_point(ckt, opts);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(fi.counts().injected_singular, 1);
+  EXPECT_EQ(rep.lu_failures, 1);
+}
+
+TEST(SparseEquivalence, AutoPolicyKeepsSmallTestbenchesDense) {
+  // The default crossover must not move the paper's estimate testbenches
+  // (dim ~15-30) off the proven dense path.
+  Circuit ckt = make_opamp_tb(est::OpAmpTb::OpenLoop);
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  (void)dc_operating_point(ckt, opts);
+  EXPECT_EQ(rep.kernel.numeric_refactors, 0);
+  EXPECT_EQ(rep.kernel.factorizations, rep.newton_iterations);
 }
 
 }  // namespace

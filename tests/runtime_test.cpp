@@ -369,6 +369,33 @@ TEST(RuntimeBatch, CacheAccountingAcrossDuplicateSpecs) {
   EXPECT_GT(r.stats.jobs_per_second, 0.0);
 }
 
+TEST(RuntimeBatch, KernelCountersAggregateAcrossJobsAndThreads) {
+  // Every synthesis job verifies its design on the simulator, so the
+  // batch aggregate must surface the kernel work — and because each job
+  // tallies into its own ambient sink before the per-batch merge (a
+  // commutative sum), the counters are thread-count invariant like the
+  // job outcomes themselves.
+  const auto specs = batch_specs(6);
+  BatchOptions serial = fast_synth_options();
+  serial.threads = 1;
+  const auto r1 = run_opamp_batch(proc(), specs, serial);
+  BatchOptions pooled = fast_synth_options();
+  pooled.threads = 4;
+  const auto r4 = run_opamp_batch(proc(), specs, pooled);
+  const KernelStats& k1 = r1.stats.kernel;
+  const KernelStats& k4 = r4.stats.kernel;
+  EXPECT_GT(k1.solves, 0);
+  EXPECT_GT(k1.factorizations + k1.numeric_refactors, 0);
+  EXPECT_GT(k1.ac_points_fused, 0);
+  EXPECT_GT(k1.baseline_builds, 0);
+  EXPECT_EQ(k1.solves, k4.solves);
+  EXPECT_EQ(k1.factorizations, k4.factorizations);
+  EXPECT_EQ(k1.numeric_refactors, k4.numeric_refactors);
+  EXPECT_EQ(k1.ac_points_fused, k4.ac_points_fused);
+  EXPECT_EQ(k1.baseline_builds, k4.baseline_builds);
+  EXPECT_EQ(k1.nonlinear_stamps, k4.nonlinear_stamps);
+}
+
 TEST(RuntimeBatch, PoisonedSpecFailsAloneAndNamesItsJob) {
   auto specs = batch_specs(6);
   specs[3].ibias = -1.0;  // nonsensical bias: the estimator must throw
