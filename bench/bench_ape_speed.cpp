@@ -196,6 +196,85 @@ KernelStats kernel_audit() {
   return ks;
 }
 
+/// One serial batch run with the lint-first prove gate on or off,
+/// returning the measured wall seconds.
+double timed_serial_batch(const std::vector<OpAmpSpec>& specs,
+                          bool lint_first) {
+  runtime::EstimateCache cache;
+  runtime::BatchOptions o = batch_options(1, &cache);
+  o.lint_first = lint_first;
+  return runtime::run_opamp_batch(proc(), specs, o).stats.wall_seconds;
+}
+
+struct ProveBench {
+  long overhead_bp = 0;     ///< prove-gate cost on an all-feasible batch,
+                            ///< in basis points of the no-prove wall time
+  double pruning_speedup = 0.0;  ///< mixed-batch wall-clock win
+  double feasible_without_s = 0.0, feasible_with_s = 0.0;
+  double mixed_without_s = 0.0, mixed_with_s = 0.0;
+};
+
+/// Feasibility-prove A/B (DESIGN.md section 14). Two acceptance claims:
+/// on a batch where every spec is reachable the gate must cost <5% wall
+/// clock (it proves, contracts, then the anneal dominates); on a batch
+/// salted with provably-infeasible specs it must win outright, because
+/// refuted jobs fail in microseconds instead of annealing to nowhere.
+/// check_bench gates both (absolute 500 bp / relative speedup).
+ProveBench run_prove_comparison() {
+  ProveBench pb;
+  const auto rows = bench::table1_specs();
+
+  // All-feasible: the ten Table-1 specs. Best-of-2 per arm discards
+  // scheduler noise that would otherwise dwarf a microsecond gate.
+  std::vector<OpAmpSpec> feasible;
+  for (const auto& row : rows) feasible.push_back(bench::to_spec(row));
+  auto best2 = [&](bool lint_first) {
+    double best = 1e300;
+    for (int i = 0; i < 2; ++i) {
+      const double s = timed_serial_batch(feasible, lint_first);
+      if (s < best) best = s;
+    }
+    return best;
+  };
+  pb.feasible_without_s = best2(false);
+  pb.feasible_with_s = best2(true);
+  const double overhead =
+      pb.feasible_without_s > 0.0
+          ? (pb.feasible_with_s - pb.feasible_without_s) / pb.feasible_without_s
+          : 0.0;
+  pb.overhead_bp = overhead > 0.0 ? long(overhead * 1e4 + 0.5) : 0;
+
+  // Mixed: half the specs carry an area budget below the 8-device
+  // minimum-geometry floor — provably unreachable, but the estimator
+  // treats the budget as informational, so without the gate each one
+  // still burns a full anneal discovering a cost plateau. Built from
+  // the *unbuffered* Table-1 rows only: buffered specs are outside the
+  // interval model and deliberately stay neutral (DESIGN.md section 14),
+  // so salting them would prove nothing.
+  std::vector<size_t> unbuffered;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].buffer) unbuffered.push_back(i);
+  }
+  std::vector<OpAmpSpec> mixed;
+  for (size_t i = 0; i < 12; ++i) {
+    OpAmpSpec s = bench::to_spec(rows[unbuffered[i % unbuffered.size()]]);
+    if (i % 2 == 1) s.area_budget = 1e-11;
+    mixed.push_back(s);
+  }
+  pb.mixed_without_s = timed_serial_batch(mixed, false);
+  pb.mixed_with_s = timed_serial_batch(mixed, true);
+  pb.pruning_speedup =
+      pb.mixed_with_s > 0.0 ? pb.mixed_without_s / pb.mixed_with_s : 0.0;
+
+  std::printf("\n-- feasibility-prove gate (DESIGN.md 14) --\n");
+  std::printf("all-feasible: %.2f s bare, %.2f s with prove gate (%ld bp)\n",
+              pb.feasible_without_s, pb.feasible_with_s, pb.overhead_bp);
+  std::printf("mixed (6 feasible + 6 refuted): %.2f s bare, %.2f s "
+              "with prove gate -> %.2fx\n",
+              pb.mixed_without_s, pb.mixed_with_s, pb.pruning_speedup);
+  return pb;
+}
+
 int run_batch_comparison() {
   const auto specs = batch32();
   const int hw = std::max(1u, std::thread::hardware_concurrency());
@@ -280,6 +359,8 @@ int run_batch_comparison() {
   std::printf("estimate path: %.1f us/opamp (single thread)\n", est_us);
   std::printf("%s\n", ks.summary().c_str());
 
+  const ProveBench pb = run_prove_comparison();
+
   char json[8192];
   std::snprintf(
       json, sizeof json,
@@ -299,6 +380,10 @@ int run_batch_comparison() {
       "  \"cache_misses\": %ld,\n"
       "  \"cache_hit_rate\": %.4f,\n"
       "  \"estimate_path_us\": %.2f,\n"
+      "  \"prove_overhead_bp\": %ld,\n"
+      "  \"prove_pruning_speedup\": %.3f,\n"
+      "  \"prove_feasible_seconds\": [%.6f, %.6f],\n"
+      "  \"prove_mixed_seconds\": [%.6f, %.6f],\n"
       "  \"scaling\": %s,\n"
       "  \"kernel\": {\n"
       "    \"baseline_builds\": %ld,\n"
@@ -332,7 +417,10 @@ int run_batch_comparison() {
       speedup_valid ? "true" : "false", identical ? "true" : "false",
       pooled.stats.failed,
       pooled.stats.cache.hits, pooled.stats.cache.misses,
-      pooled.stats.cache.hit_rate(), est_us, scaling.c_str(),
+      pooled.stats.cache.hit_rate(), est_us,
+      pb.overhead_bp, pb.pruning_speedup,
+      pb.feasible_without_s, pb.feasible_with_s,
+      pb.mixed_without_s, pb.mixed_with_s, scaling.c_str(),
       ks.baseline_builds,
       ks.baseline_restores, ks.linear_stamps_skipped, ks.nonlinear_stamps,
       ks.factorizations, ks.solves, ks.ac_points_fused, ks.ac_points_virtual,

@@ -27,6 +27,26 @@ endforeach()
 file(READ "${CURRENT}" cur_json)
 file(READ "${BASELINE}" base_json)
 
+# Every trajectory file carries a top-level "meta" stamp (machine /
+# build identity). A file without it is either unparseable, hand-edited,
+# or predates the stamping discipline — comparing against it would be
+# meaningless, so fail with a plain diagnosis naming the file instead of
+# letting a later string(JSON GET) surface a parse backtrace.
+string(JSON _meta ERROR_VARIABLE _meta_err GET "${cur_json}" meta)
+if(_meta_err)
+  message(FATAL_ERROR
+    "check_bench: ${CURRENT} is missing its \"meta\" stamp "
+    "(${_meta_err}). Regenerate the file with the bench binary — "
+    "trajectory files without the meta block cannot be gated.")
+endif()
+string(JSON _meta ERROR_VARIABLE _meta_err GET "${base_json}" meta)
+if(_meta_err)
+  message(FATAL_ERROR
+    "check_bench: baseline ${BASELINE} is missing its \"meta\" stamp "
+    "(${_meta_err}). Re-commit the baseline from a fresh bench run — "
+    "trajectory files without the meta block cannot be gated.")
+endif()
+
 set(tolerance 1.20)  # fail only beyond a 20% regression
 set(failed 0)
 
@@ -110,6 +130,28 @@ else()
 endif()
 
 check_metric(estimate_path_us LOWER_IS_BETTER)
+
+# The mixed-batch pruning win (DESIGN.md §14): provably-infeasible specs
+# must keep failing pre-solve instead of annealing, so the with-prove run
+# stays decisively faster. Relative gate like any throughput metric.
+check_metric(prove_pruning_speedup HIGHER_IS_BETTER)
+
+# Absolute gate: the prove gate's cost on an *all-feasible* batch, in
+# basis points of the bare wall time. The acceptance bound is 5% (500 bp)
+# of wall clock; a relative-to-baseline band is meaningless for a
+# near-zero percentage, so this one is absolute and only checked on the
+# fresh run.
+string(JSON cur_ovh ERROR_VARIABLE cur_ovh_err GET "${cur_json}" prove_overhead_bp)
+if(cur_ovh_err)
+  message(STATUS "check_bench: prove_overhead_bp: skipped (absent)")
+elseif(cur_ovh GREATER 500)
+  message(SEND_ERROR
+    "check_bench: prove gate cost ${cur_ovh} bp of wall time on the "
+    "all-feasible batch (bound: 500 bp = 5%)")
+  set(failed 1)
+else()
+  message(STATUS "check_bench: prove_overhead_bp: ok (${cur_ovh} bp <= 500 bp)")
+endif()
 
 # -- BENCH_spice_kernel.json metrics (dense AND sparse LU paths) -----------
 check_metric(dense_n64_ns LOWER_IS_BETTER)

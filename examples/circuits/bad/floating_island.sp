@@ -1,0 +1,9 @@
+bad: floating island
+* Deliberately broken (negative control for the lint-examples CI job):
+* R2/C1 form an island with no DC path to ground, held up only by
+* gmin. ape_lint must report APE-L004 (error) and exit 1 on this file.
+Vin in 0 DC 1
+R1 in 0 1k
+R2 x y 1k
+C1 y x 1p
+.end

@@ -1,0 +1,9 @@
+bad: voltage-source loop
+* Deliberately broken (negative control for the lint-examples CI job):
+* two ideal voltage sources in parallel form a voltage-defined cycle,
+* so the MNA system is structurally singular. ape_lint must report
+* APE-L002 (error) and exit 1 on this file.
+V1 a 0 DC 1
+V2 a 0 DC 2
+R1 a 0 1k
+.end

@@ -1,0 +1,8 @@
+noise divider: parallel resistors to ground
+* Output thermal noise is 4kT * (R1 || R2); probed through a huge
+* series resistor so the AC source does not short the node.
+Vmeas probe 0 AC 0
+Rp probe out 1e12
+R1 out 0 10k
+R2 out 0 40k
+.end

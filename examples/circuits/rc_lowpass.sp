@@ -1,0 +1,6 @@
+rc lowpass: single-pole reference circuit
+* Pole at -1/RC = -1000 rad/s; used throughout the AWE tests.
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+.end

@@ -1,0 +1,10 @@
+two-pole ladder: widely split poles via a buffered RC cascade
+* Two RC sections decoupled by an ideal unity VCVS; AWE recovers both
+* poles (1e3 and 1e6 rad/s).
+Vin in 0 AC 1
+R1 in a 1k
+C1 a 0 1u
+E1 b 0 a 0 1
+R2 b out 1k
+C2 out 0 1n
+.end

@@ -1,0 +1,17 @@
+demo: resistively loaded two-stage amplifier
+* The built-in demo of examples/netlist_estimate.cpp as a standalone
+* file: `netlist_estimate examples/circuits/two_stage_amp.sp out Vdd`.
+* CI lints every circuit in this directory (see .github/workflows/ci.yml,
+* job lint-examples) and fails on any error-severity finding.
+.model mn nmos (level=1 vto=0.8 kp=80u lambda=0.02 gamma=0.4 phi=0.6 tox=20n ld=0.1u cgso=300p cgdo=300p cj=0.3m cjsw=300p lref=2.4u)
+.model mp pmos (level=1 vto=-0.8 kp=28u lambda=0.03 gamma=0.5 phi=0.6 tox=20n ld=0.1u cgso=300p cgdo=300p cj=0.3m cjsw=300p lref=2.4u)
+Vdd vdd 0 DC 5
+Vin in 0 DC 1.1 AC 1
+* stage 1: common source with PMOS diode load
+M1 s1 in 0 0 mn W=40u L=2.4u
+M2 s1 s1 vdd vdd mp W=10u L=2.4u
+* stage 2: common source, resistive load
+M3 out s1 vdd vdd mp W=15u L=2.4u
+Rl out 0 20k
+Cl out 0 5p
+.end

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/lint/lint.h"
+#include "src/lint/prove.h"
 #include "src/runtime/executor.h"
 #include "src/util/diagnostics.h"
 #include "src/util/error.h"
@@ -19,6 +20,22 @@ template <class Spec>
 void lint_gate(bool enabled, const est::Process& proc, const Spec& spec) {
   if (!enabled) return;
   lint::require_clean(lint::lint_spec(spec, proc), "lint-first");
+}
+
+/// Feasibility half of the lint-first gate (APE-F, src/lint/prove.h):
+/// prove the spec reachable over the sizing box before any solve.
+/// Throws LintError — ErrorClass::Permanent, so the supervision ladder
+/// skips every retry rung and goes straight to the estimate fallback,
+/// and the quarantine registry is never involved. Contraction is only
+/// worth its ~100 extra interval evaluations when the proof artifacts
+/// feed a synthesis run; the estimate-only gates pass contract=false.
+lint::FeasibilityProof prove_gate(const est::Process& proc,
+                                  const est::OpAmpSpec& spec, bool contract) {
+  lint::ProveOptions po;
+  if (!contract) po.contraction_segments = 0;
+  lint::FeasibilityProof proof = lint::prove_opamp_feasibility(proc, spec, po);
+  lint::require_feasible(proof, "lint-first");
+  return proof;
 }
 
 double now_seconds() {
@@ -118,6 +135,17 @@ synth::SynthesisOutcome run_one_opamp(const est::Process& proc,
                                       const BatchOptions& options) {
   lint_gate(options.lint_first, proc, spec);
   synth::SynthesisOptions so = options.synth;
+  if (options.lint_first) {
+    const lint::FeasibilityProof proof =
+        prove_gate(proc, spec, /*contract=*/true);
+    // Hand the proof artifacts to the annealer: restarts sample inside
+    // the proven-feasible box, and the proven cost floor lets serial
+    // multi-start stop early. Explicit caller-provided values win.
+    if (so.feasible_box.empty()) so.feasible_box = proof.feasible_box;
+    if (so.cost_lower_bound <= 0.0) {
+      so.cost_lower_bound = proof.cost_lower_bound;
+    }
+  }
   so.anneal.seed = Rng::derive_stream(options.seed, index);
   // The job runs on one pool slot; its restarts stay serial unless the
   // caller explicitly asked for nested parallelism.
@@ -203,6 +231,7 @@ OpAmpEstimateBatchResult estimate_opamp_batch(
   fan_out(specs.size(), threads, "opamp_estimate", out.jobs,
           out.stats.kernel, [&](size_t i) {
     lint_gate(options.lint_first, proc, specs[i]);
+    if (options.lint_first) prove_gate(proc, specs[i], /*contract=*/false);
     if (options.cache != nullptr) return options.cache->opamp(proc, specs[i]);
     return std::make_shared<const est::OpAmpDesign>(
         est::OpAmpEstimator(proc).estimate(specs[i]));

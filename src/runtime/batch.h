@@ -45,9 +45,14 @@ struct BatchOptions {
   /// module prototypes across jobs and batches). Not owned.
   EstimateCache* cache = nullptr;
   /// Lint every job's spec (lint::lint_spec, DESIGN.md section 9) before
-  /// synthesizing / estimating it. A spec with lint errors fails its job
-  /// with the lint summary — isolated per job like any other ape::Error,
-  /// and before any synthesis budget is spent on it.
+  /// synthesizing / estimating it, then prove its feasibility over the
+  /// sizing box (lint::prove_opamp_feasibility, DESIGN.md section 14).
+  /// A spec with lint errors — or a proven-infeasible one (APE-F001) —
+  /// fails its job with a Permanent LintError before any synthesis
+  /// budget is spent: the supervision ladder skips every retry rung and
+  /// goes straight to the estimate fallback, and quarantine is
+  /// untouched. For feasible opamp jobs the proof's contracted box and
+  /// cost floor are handed to the annealer (SynthesisOptions).
   bool lint_first = false;
 };
 

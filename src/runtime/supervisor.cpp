@@ -162,9 +162,15 @@ SupervisedJobResult<Outcome> supervise_one(size_t index, uint64_t fp,
           (last_error.empty() ? "" : " (last attempt: " + last_error + ")"));
     }
   };
+  // Set once a lint/feasibility verdict (LintError, e.g. APE-F001) has
+  // fired for this job: the spec is provably defective, which is a fact
+  // about the *input*, not flakiness of the pipeline — so neither the
+  // verdict nor the follow-on estimate-fallback failure may feed the
+  // quarantine registry (it tracks fingerprints that fail *unexpectedly*).
+  bool lint_verdict = false;
   auto record_attempt_failure = [&](const std::string& error) {
     last_error = error;
-    if (options.quarantine != nullptr &&
+    if (!lint_verdict && options.quarantine != nullptr &&
         options.quarantine->record_failure(fp, error,
                                            options.quarantine_threshold)) {
       ++stats.quarantined_new;
@@ -263,6 +269,18 @@ SupervisedJobResult<Outcome> supervise_one(size_t index, uint64_t fp,
       r.ok = true;
       if (options.quarantine != nullptr) options.quarantine->record_success(fp);
       return r;
+    } catch (const lint::LintError& e) {
+      if (budget.cancelled()) {
+        cancelled_result();
+        return r;
+      }
+      lint_verdict = true;
+      record_attempt_failure(e.what());
+      if (budget.exhausted()) {
+        deadline_result();
+        return r;
+      }
+      escalate(e.klass());  // Permanent: straight to the estimate fallback
     } catch (const Error& e) {
       if (budget.cancelled()) {
         cancelled_result();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/lint/lint.h"
+#include "src/lint/prove.h"
 #include "src/runtime/executor.h"
 #include "src/synth/sizing.h"
 #include "src/util/diagnostics.h"
@@ -54,6 +55,7 @@ stat::PointOutcome check_point(const est::Process& p, const synth::OpAmpVars& v,
 struct Cell {
   std::vector<stat::PointOutcome> points;
   uint8_t estimate_ok = 0;
+  uint8_t proven_infeasible = 0;  ///< APE-F001 at this corner; cell pruned
   bool ran = false;  ///< false when skipped by cancellation
 };
 
@@ -171,6 +173,22 @@ SweepResult run_corner_sweep(const est::Process& proc,
     const std::string frame = "sweep_cell[" + std::to_string(i) + "," +
                               corner_names[c] + "]";
     ErrorContext ctx(parent.empty() ? frame : parent + " -> " + frame);
+    // Feasibility pre-check at the corner card: when no sizing in the
+    // whole box can reach the spec under this corner's parameters, the
+    // re-estimate and the sample grid are provably wasted work. Prune
+    // the cell (global interval check only, a few microseconds) and
+    // record its slots as failed points so report shapes stay fixed.
+    if (options.prove_corners) {
+      lint::ProveOptions po;
+      po.contraction_segments = 0;
+      const lint::FeasibilityProof proof =
+          lint::prove_opamp_feasibility(corner_procs[c], specs[i], po);
+      if (proof.infeasible) {
+        cell.proven_infeasible = 1;
+        cell.points.assign(static_cast<size_t>(samples), stat::PointOutcome{});
+        return;
+      }
+    }
     // Can APE still size this spec AT the corner? Shared cache entry —
     // duplicate specs answer this once per corner for the whole run.
     try {
@@ -220,6 +238,7 @@ SweepResult run_corner_sweep(const est::Process& proc,
     SweepJobResult& jr = out.jobs[i];
     jr.report = stat::YieldReport(corner_names);
     jr.corner_estimate_ok.assign(n_corners, 0);
+    jr.corner_proven_infeasible.assign(n_corners, 0);
     if (!jr.ok) continue;
     bool incomplete = false;
     for (size_t c = 0; c < n_corners; ++c) {
@@ -229,6 +248,8 @@ SweepResult run_corner_sweep(const est::Process& proc,
         continue;
       }
       jr.corner_estimate_ok[c] = cell.estimate_ok;
+      jr.corner_proven_infeasible[c] = cell.proven_infeasible;
+      if (cell.proven_infeasible) ++out.corners_pruned;
       for (const auto& p : cell.points) jr.report.add(c, p);
     }
     if (incomplete) {

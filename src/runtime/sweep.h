@@ -62,6 +62,15 @@ struct SweepOptions {
   /// Phase A: false = nominal design is the APE estimate (fast, the
   /// default), true = full supervised synthesis per spec.
   bool synthesize = false;
+
+  /// Prove each (job, corner) cell's spec feasible over the sizing box
+  /// at the corner-realized process before spending any phase-B work on
+  /// it (lint::prove_opamp_feasibility, global check only — a few
+  /// microseconds per cell). A provably-infeasible cell is pruned: no
+  /// corner re-estimate, no sample evaluations; its grid slots are
+  /// recorded as failed points so YieldReport shapes stay invariant,
+  /// and the verdict surfaces in SweepJobResult::corner_proven_infeasible.
+  bool prove_corners = true;
 };
 
 /// One spec's sweep outcome.
@@ -77,6 +86,11 @@ struct SweepJobResult {
   /// phase-B re-estimate succeeded), 0 otherwise. Same order as
   /// SweepOptions::corners.
   std::vector<uint8_t> corner_estimate_ok;
+  /// Per corner: 1 when the spec was proven infeasible over the whole
+  /// sizing box at that corner (APE-F001) and the cell was pruned, 0
+  /// otherwise. Same order as SweepOptions::corners; all zeros when
+  /// SweepOptions::prove_corners is off.
+  std::vector<uint8_t> corner_proven_infeasible;
 
   SweepJobResult() : report(std::vector<std::string>{}) {}
 };
@@ -87,6 +101,9 @@ struct SweepResult {
   SupervisionStats supervision;       ///< phase A (synthesize mode)
   stat::YieldReport aggregate;        ///< pooled over ok jobs (finalized)
   int samples_per_corner = 1;         ///< grid depth actually used
+  /// (job, corner) cells pruned by a per-corner infeasibility proof —
+  /// the work the 7x corner fan-out did NOT spend.
+  int corners_pruned = 0;
 
   SweepResult() : aggregate(std::vector<std::string>{}) {}
 };

@@ -31,10 +31,15 @@
 /// silently ignored is worse than an error).
 ///
 /// Responses always carry "id" (echoed, "" when the request had none),
-/// "status" ("ok" | "shed" | "error") and "degraded" (true when the
-/// server answered a synthesize request with the analytic estimate under
-/// load). "shed" responses carry "reason" ("overload" | "quota" |
-/// "draining"); "error" responses carry "error".
+/// "status" ("ok" | "shed" | "error" | "infeasible") and "degraded"
+/// (true when the server answered a synthesize request with the analytic
+/// estimate under load). "shed" responses carry "reason" ("overload" |
+/// "quota" | "draining"); "error" responses carry "error". "infeasible"
+/// responses — a synthesize spec proven unreachable over the whole
+/// sizing box at admission (APE-F001, src/lint/prove.h) — carry "proof":
+/// the lint Report JSON whose APE-F findings state the violated
+/// inequality and the guaranteed metric interval. They are answered on
+/// the connection thread in microseconds without an executor slot.
 
 #include <cstdint>
 #include <string>

@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "src/lint/prove.h"
 #include "src/runtime/sweep.h"
 #include "src/spice/analysis.h"
 #include "src/spice/parser.h"
@@ -72,6 +73,7 @@ std::string ServerStats::summary() const {
      << " malformed=" << malformed_frames << " framing=" << framing_errors
      << " deadline_hits=" << deadline_hits << " cancelled=" << cancelled
      << " quarantine_hits=" << quarantine_hits
+     << " proven_infeasible=" << proven_infeasible
      << " peak_in_flight=" << peak_in_flight;
   return os.str();
 }
@@ -416,6 +418,24 @@ std::string Server::run_estimate(const Request& req, bool degraded) {
 }
 
 std::string Server::run_synthesize(Connection& conn, const Request& req) {
+  // Feasibility pre-admission (APE-F, src/lint/prove.h): when interval
+  // bounds over the whole sizing box prove the spec unreachable, the
+  // request is answered *now* — microseconds, on the connection thread,
+  // no executor slot, no synthesis budget — with the proof attached.
+  const lint::FeasibilityProof proof = [&] {
+    lint::ProveOptions po;
+    po.contraction_segments = 0;  // global check only; admission is hot
+    return lint::prove_opamp_feasibility(proc_, req.spec, po);
+  }();
+  if (proof.infeasible) {
+    std::string json = response_head(req.id, "infeasible", false);
+    json += ",\"proof\":" + proof.report.to_json();
+    json += '}';
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.proven_infeasible;
+    return json;
+  }
+
   const Admission admission = admit_heavy();
   if (admission == Admission::Shed) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -440,7 +460,7 @@ std::string Server::run_synthesize(Connection& conn, const Request& req) {
   const uint64_t ordinal =
       request_ordinal_.fetch_add(1, std::memory_order_relaxed);
   std::future<std::string> result = executor_->submit([this, req, deadline_abs,
-                                                       ordinal] {
+                                                       ordinal, proof] {
     ErrorContext scope("serve[synthesize#" + std::to_string(ordinal) + "]");
     const double remaining = deadline_abs - now_seconds();
     if (remaining <= 0.002 || drain_cancel_.cancelled()) {
@@ -458,6 +478,10 @@ std::string Server::run_synthesize(Connection& conn, const Request& req) {
         req.iterations > 0
             ? std::min(req.iterations, options_.synth_iterations_cap)
             : options_.synth_iterations;
+    // Admission already proved the spec feasible; hand the proof's box
+    // and cost floor to the annealer (see SynthesisOptions).
+    sup.batch.synth.feasible_box = proof.feasible_box;
+    sup.batch.synth.cost_lower_bound = proof.cost_lower_bound;
     sup.retry.plain_retries = std::max(options_.retries, 0);
     sup.retry.relaxed_retries = 1;
     sup.retry.estimate_fallback = true;
@@ -683,6 +707,10 @@ std::string Server::run_corner_sweep(Connection& conn, const Request& req) {
       json += ",\"corner_estimate_ok\":\"";
       for (const uint8_t ok : job.corner_estimate_ok) json += ok ? '1' : '0';
       json += '"';
+      json += ",\"corner_proven_infeasible\":\"";
+      for (const uint8_t p : job.corner_proven_infeasible) json += p ? '1' : '0';
+      json += '"';
+      append_kv(json, "corners_pruned", static_cast<long>(r.corners_pruned));
       json += ",\"yield_report\":" + job.report.to_json();
       json += '}';
       std::lock_guard<std::mutex> lock(mu_);
@@ -730,6 +758,7 @@ std::string Server::stats_response(const Request& req) const {
   append_kv(json, "deadline_hits", s.deadline_hits);
   append_kv(json, "cancelled", s.cancelled);
   append_kv(json, "quarantine_hits", s.quarantine_hits);
+  append_kv(json, "proven_infeasible", s.proven_infeasible);
   append_kv(json, "peak_in_flight", s.peak_in_flight);
   append_kv(json, "in_flight", static_cast<long>(load()));
   append_kv(json, "draining", draining());

@@ -102,6 +102,9 @@ struct ServerStats {
   long shed_overload = 0;
   long shed_quota = 0;
   long shed_draining = 0;
+  long proven_infeasible = 0; ///< synthesize requests rejected by an
+                              ///< APE-F001 feasibility proof at admission
+                              ///< (answered with the proof, no executor slot)
   long errors = 0;            ///< "error" responses (parse or job failure)
   long malformed_frames = 0;  ///< payloads that failed to parse
   long framing_errors = 0;    ///< oversized / zero-length / truncated frames

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "src/runtime/executor.h"
@@ -93,8 +94,22 @@ MultiStartResult multi_start_anneal(
   }
   threads = std::min(threads, m);
 
+  int executed = m;
   if (m == 1 || threads <= 1) {
-    for (int r = 0; r < m; ++r) runs[size_t(r)] = run_one(r);
+    // Serial mode honours the proven cost floor: once a restart lands
+    // within early_stop_frac of a bound no point in the box can beat,
+    // further restarts are provably wasted and are not launched.
+    double best_so_far = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      runs[size_t(r)] = run_one(r);
+      best_so_far = std::min(best_so_far, runs[size_t(r)].ar.best_cost);
+      if (opts.cost_lower_bound > 0.0 && r + 1 < m &&
+          best_so_far <=
+              opts.cost_lower_bound * (1.0 + opts.early_stop_frac)) {
+        executed = r + 1;
+        break;
+      }
+    }
   } else {
     // Worker threads have empty provenance stacks; re-anchor each
     // restart under the chain open on the calling thread.
@@ -113,9 +128,9 @@ MultiStartResult multi_start_anneal(
   }
 
   MultiStartResult ms;
-  ms.restarts_run = m;
+  ms.restarts_run = executed;
   ms.best = runs[0].ar;
-  for (int r = 0; r < m; ++r) {
+  for (int r = 0; r < executed; ++r) {
     const RestartRun& run = runs[size_t(r)];
     ms.skipped += run.skipped;
     ms.rejected_nonfinite += run.ar.rejected_nonfinite;
@@ -151,6 +166,22 @@ SynthesisOutcome synthesize_opamp(const Process& proc, const OpAmpSpec& spec,
   } else {
     bounds = blind_bounds(proc, buffered);
     x0 = box_center(bounds);
+  }
+  // Proven feasible box (SynthesisOptions::feasible_box): every sizing
+  // that can meet the spec lies inside it, so restricting the search —
+  // and therefore every restart's random walk — to the intersection
+  // loses nothing and skips provably-hopeless regions. Dimension
+  // mismatch (buffered layout vs the 13-var proof) leaves the bounds
+  // untouched.
+  if (opts.feasible_box.size() == bounds.size()) {
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      const double lo = std::max(bounds[i].first, opts.feasible_box[i].first);
+      const double hi = std::min(bounds[i].second, opts.feasible_box[i].second);
+      if (lo <= hi) {
+        bounds[i] = {lo, hi};
+        x0[i] = std::clamp(x0[i], lo, hi);
+      }
+    }
   }
 
   OpAmpSpec target = spec;

@@ -60,6 +60,22 @@ struct SynthesisOptions {
   /// like a nominal evaluation failure.
   double yield_weight = 0.0;
   std::vector<est::Process> corner_procs;
+
+  /// Externally-proven feasibility artifacts (src/lint/prove.h), passed
+  /// in by the lint-first runtime — synthesis itself stays independent
+  /// of the lint layer. When feasible_box has the search's
+  /// dimensionality (13 pairs, unbuffered opamp layout), the anneal
+  /// bounds are intersected with it so every restart is seeded inside
+  /// the proven-feasible region instead of the blind technology box.
+  std::vector<std::pair<double, double>> feasible_box;
+  /// Proven lower bound on the nominal cost over the box (> 0 enables
+  /// early termination): serial multi-start stops launching further
+  /// restarts once the best cost is within early_stop_frac of the
+  /// bound — no restart can beat a proven floor by more than the
+  /// tolerance. Parallel restart pools ignore it so their aggregate
+  /// stays thread-count invariant.
+  double cost_lower_bound = 0.0;
+  double early_stop_frac = 0.05;
 };
 
 /// Outcome of one opamp synthesis run.

@@ -1,0 +1,254 @@
+#include "src/util/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ape::util {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Directed rounding: one-ulp outward nudges. Infinities are already
+/// extremal and exact zeros stay exact on the side that cannot cross
+/// them (a product/quotient of finite operands that is exactly 0.0 is
+/// exact in IEEE arithmetic).
+double down(double v) {
+  if (std::isnan(v)) return -kInf;
+  if (v == -kInf || v == 0.0) return v;
+  return std::nextafter(v, -kInf);
+}
+
+double up(double v) {
+  if (std::isnan(v)) return kInf;
+  if (v == kInf || v == 0.0) return v;
+  return std::nextafter(v, kInf);
+}
+
+/// Product of two endpoint values for the candidate scan. IEEE gives
+/// 0 * inf = NaN, but in the interval product the correct candidate is
+/// 0 (the zero endpoint annihilates any finite point arbitrarily close
+/// to the infinite one).
+double mul_bound(double a, double b) {
+  if ((a == 0.0 && std::isinf(b)) || (b == 0.0 && std::isinf(a))) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+Interval::Interval(double v) : lo_(v), hi_(v) {
+  if (std::isnan(v)) {
+    lo_ = -kInf;
+    hi_ = kInf;
+  }
+}
+
+Interval::Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (std::isnan(lo) || std::isnan(hi)) {
+    lo_ = -kInf;
+    hi_ = kInf;
+    return;
+  }
+  if (lo_ > hi_) std::swap(lo_, hi_);
+}
+
+Interval Interval::empty_set() {
+  Interval e;
+  e.empty_ = true;
+  e.lo_ = kInf;
+  e.hi_ = -kInf;
+  return e;
+}
+
+Interval Interval::whole() { return Interval(-kInf, kInf); }
+
+Interval Interval::hull(double a, double b) { return Interval(a, b); }
+
+bool Interval::contains(double v) const {
+  return !empty_ && !std::isnan(v) && lo_ <= v && v <= hi_;
+}
+
+bool Interval::contains(const Interval& other) const {
+  if (other.empty_) return true;
+  return !empty_ && lo_ <= other.lo_ && other.hi_ <= hi_;
+}
+
+bool Interval::intersects(const Interval& other) const {
+  if (empty_ || other.empty_) return false;
+  return lo_ <= other.hi_ && other.lo_ <= hi_;
+}
+
+double Interval::width() const {
+  if (empty_) return 0.0;
+  return hi_ - lo_;
+}
+
+double Interval::mid() const {
+  if (empty_) return 0.0;
+  if (std::isinf(lo_) && std::isinf(hi_)) return 0.0;
+  if (std::isinf(lo_)) return hi_;
+  if (std::isinf(hi_)) return lo_;
+  return 0.5 * (lo_ + hi_);
+}
+
+Interval Interval::intersect(const Interval& a, const Interval& b) {
+  if (a.empty_ || b.empty_) return empty_set();
+  const double lo = std::max(a.lo_, b.lo_);
+  const double hi = std::min(a.hi_, b.hi_);
+  if (lo > hi) return empty_set();
+  Interval r;
+  r.lo_ = lo;
+  r.hi_ = hi;
+  return r;
+}
+
+Interval Interval::join(const Interval& a, const Interval& b) {
+  if (a.empty_) return b;
+  if (b.empty_) return a;
+  Interval r;
+  r.lo_ = std::min(a.lo_, b.lo_);
+  r.hi_ = std::max(a.hi_, b.hi_);
+  return r;
+}
+
+Interval Interval::operator-() const {
+  if (empty_) return empty_set();
+  Interval r;
+  r.lo_ = -hi_;
+  r.hi_ = -lo_;
+  return r;
+}
+
+Interval Interval::operator+(const Interval& rhs) const {
+  if (empty_ || rhs.empty_) return empty_set();
+  Interval r;
+  r.lo_ = down(lo_ + rhs.lo_);
+  r.hi_ = up(hi_ + rhs.hi_);
+  return r;
+}
+
+Interval Interval::operator-(const Interval& rhs) const {
+  return *this + (-rhs);
+}
+
+Interval Interval::operator*(const Interval& rhs) const {
+  if (empty_ || rhs.empty_) return empty_set();
+  const double c[4] = {mul_bound(lo_, rhs.lo_), mul_bound(lo_, rhs.hi_),
+                       mul_bound(hi_, rhs.lo_), mul_bound(hi_, rhs.hi_)};
+  double lo = c[0], hi = c[0];
+  for (int i = 1; i < 4; ++i) {
+    lo = std::min(lo, c[i]);
+    hi = std::max(hi, c[i]);
+  }
+  Interval r;
+  r.lo_ = down(lo);
+  r.hi_ = up(hi);
+  return r;
+}
+
+Interval Interval::operator/(const Interval& rhs) const {
+  if (empty_ || rhs.empty_) return empty_set();
+  // Divisor bounded away from zero: candidate scan over the endpoint
+  // quotients is exact up to rounding.
+  if (rhs.lo_ > 0.0 || rhs.hi_ < 0.0) {
+    const double c[4] = {lo_ / rhs.lo_, lo_ / rhs.hi_, hi_ / rhs.lo_,
+                         hi_ / rhs.hi_};
+    bool seeded = false;
+    double lo = 0.0, hi = 0.0;
+    for (double v : c) {
+      if (std::isnan(v)) continue;  // inf/inf: another endpoint bounds it
+      if (!seeded) {
+        lo = hi = v;
+        seeded = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!seeded) return whole();
+    Interval r;
+    r.lo_ = down(lo);
+    r.hi_ = up(hi);
+    return r;
+  }
+  // Divisor contains zero: extended division. The quotient set excludes
+  // b = 0 itself but its closure is what we return.
+  if (lo_ == 0.0 && hi_ == 0.0) {
+    // {0 / b : b != 0} = {0} (empty when rhs is exactly [0,0], but the
+    // point [0,0] is still a sound enclosure of the empty quotient set's
+    // closure for our use — callers treat it as "no information").
+    return Interval(0.0);
+  }
+  if (rhs.lo_ == 0.0 && rhs.hi_ == 0.0) return whole();
+  if (rhs.lo_ == 0.0) {
+    // rhs = [0, b2], b2 > 0: dividing by arbitrarily small positive b
+    // blows the sign-matching side out to infinity.
+    Interval r;
+    r.lo_ = lo_ >= 0.0 ? down(lo_ / rhs.hi_) : -kInf;
+    r.hi_ = hi_ <= 0.0 ? up(hi_ / rhs.hi_) : kInf;
+    return r;
+  }
+  if (rhs.hi_ == 0.0) {
+    // rhs = [b1, 0], b1 < 0: mirror of the case above.
+    return -(*this / Interval(0.0, -rhs.lo_));
+  }
+  // Zero strictly inside the divisor: the quotient set is the whole line.
+  return whole();
+}
+
+std::string Interval::str() const {
+  if (empty_) return "(empty)";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.6g, %.6g]", lo_, hi_);
+  return buf;
+}
+
+Interval sqrt(const Interval& x) {
+  if (x.empty() || x.hi() < 0.0) return Interval::empty_set();
+  const double lo = x.lo() <= 0.0 ? 0.0 : down(std::sqrt(x.lo()));
+  const double hi = up(std::sqrt(x.hi()));
+  Interval r(lo < 0.0 ? 0.0 : lo, hi);
+  return r;
+}
+
+Interval atan(const Interval& x) {
+  if (x.empty()) return Interval::empty_set();
+  return Interval(down(std::atan(x.lo())), up(std::atan(x.hi())));
+}
+
+Interval log10(const Interval& x) {
+  if (x.empty() || x.hi() <= 0.0) return Interval::empty_set();
+  const double lo = x.lo() <= 0.0
+                        ? -std::numeric_limits<double>::infinity()
+                        : down(std::log10(x.lo()));
+  return Interval(lo, up(std::log10(x.hi())));
+}
+
+Interval abs(const Interval& x) {
+  if (x.empty()) return Interval::empty_set();
+  if (x.lo() >= 0.0) return x;
+  if (x.hi() <= 0.0) return -x;
+  return Interval(0.0, std::max(-x.lo(), x.hi()));
+}
+
+Interval min(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::empty_set();
+  Interval r(std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi()));
+  return r;
+}
+
+Interval max(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::empty_set();
+  Interval r(std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi()));
+  return r;
+}
+
+double sqrt(double x) { return std::sqrt(x); }
+double atan(double x) { return std::atan(x); }
+double log10(double x) { return std::log10(x); }
+double abs(double x) { return std::fabs(x); }
+double min(double a, double b) { return std::min(a, b); }
+double max(double a, double b) { return std::max(a, b); }
+
+}  // namespace ape::util

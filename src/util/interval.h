@@ -1,0 +1,112 @@
+#pragma once
+/// \file interval.h
+/// Closed-interval arithmetic with directed (outward) rounding.
+///
+/// The feasibility prover (src/lint/prove.h) evaluates the analytic
+/// performance equations once, templated on the numeric type: plain
+/// `double` gives a point sample, `Interval` gives a guaranteed outer
+/// enclosure of every point sample over a box. Soundness then holds by
+/// construction — whatever a point evaluation produces is contained in
+/// the interval evaluation of the same expression — provided every
+/// primitive here is an *outer* bound of the exact real-arithmetic
+/// result. That is what the directed rounding is for: after each
+/// floating-point bound computation the result is widened by one ulp
+/// (std::nextafter towards ∓∞), so double rounding can never shave a
+/// true extremum off the enclosure.
+///
+/// Conventions:
+///  - Intervals are closed, possibly half-infinite ([x, +inf] etc.).
+///    The empty interval is represented explicitly (`empty()`), and
+///    every operation on an empty operand yields empty.
+///  - Division by an interval containing zero follows the standard
+///    extended (Kahan) case split: the result is the closed hull of the
+///    true quotient set, which may be half-infinite or the whole line.
+///    No exception, no NaN — containment is preserved.
+///  - NaN inputs poison an interval to the whole line (never to a lying
+///    narrow interval).
+///
+/// This is deliberately a small, dependency-free value type: only the
+/// operations the performance equations need (ring ops, sqrt, atan,
+/// min/max, abs, log10) are provided.
+
+#include <string>
+
+namespace ape::util {
+
+class Interval {
+ public:
+  /// Default: the degenerate point [0, 0].
+  Interval() : lo_(0.0), hi_(0.0) {}
+  /// Point interval [v, v] (no widening: a double constant is exact).
+  Interval(double v);  // NOLINT(google-explicit-constructor): numeric literal
+                       // promotion is the whole point of the template trick.
+  /// [lo, hi]; swapped endpoints are hulled, NaNs widen to (-inf, +inf).
+  Interval(double lo, double hi);
+
+  static Interval empty_set();
+  /// The whole extended real line [-inf, +inf].
+  static Interval whole();
+  /// Hull of two scalars (order-free constructor).
+  static Interval hull(double a, double b);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool empty() const { return empty_; }
+  bool contains(double v) const;
+  bool contains(const Interval& other) const;
+  /// True when the intervals share at least one point.
+  bool intersects(const Interval& other) const;
+  double width() const;
+  double mid() const;
+  bool is_point() const { return !empty_ && lo_ == hi_; }
+
+  /// Set intersection (possibly empty).
+  static Interval intersect(const Interval& a, const Interval& b);
+  /// Convex hull (smallest interval containing both).
+  static Interval join(const Interval& a, const Interval& b);
+
+  Interval operator-() const;
+  Interval operator+(const Interval& rhs) const;
+  Interval operator-(const Interval& rhs) const;
+  Interval operator*(const Interval& rhs) const;
+  Interval operator/(const Interval& rhs) const;
+  Interval& operator+=(const Interval& rhs) { return *this = *this + rhs; }
+  Interval& operator-=(const Interval& rhs) { return *this = *this - rhs; }
+  Interval& operator*=(const Interval& rhs) { return *this = *this * rhs; }
+  Interval& operator/=(const Interval& rhs) { return *this = *this / rhs; }
+
+  std::string str() const;  ///< "[lo, hi]" in %.6g, "(empty)" for empty
+
+ private:
+  double lo_;
+  double hi_;
+  bool empty_ = false;
+};
+
+// Mixed scalar forms resolve through the implicit point constructor, but
+// spell the common ones out so expression templates stay unambiguous.
+inline Interval operator+(double a, const Interval& b) { return Interval(a) + b; }
+inline Interval operator-(double a, const Interval& b) { return Interval(a) - b; }
+inline Interval operator*(double a, const Interval& b) { return Interval(a) * b; }
+inline Interval operator/(double a, const Interval& b) { return Interval(a) / b; }
+
+/// Monotone / piecewise-monotone extensions. Domain violations clamp to
+/// the valid sub-domain (sqrt of a partly-negative interval evaluates on
+/// [0, hi]) and return empty when the whole interval is out of domain.
+Interval sqrt(const Interval& x);
+Interval atan(const Interval& x);
+Interval log10(const Interval& x);
+Interval abs(const Interval& x);
+Interval min(const Interval& a, const Interval& b);
+Interval max(const Interval& a, const Interval& b);
+
+// The same names must resolve for plain double inside the templated
+// performance equations; import the std versions under this namespace.
+double sqrt(double x);
+double atan(double x);
+double log10(double x);
+double abs(double x);
+double min(double a, double b);
+double max(double a, double b);
+
+}  // namespace ape::util

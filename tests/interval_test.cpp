@@ -1,0 +1,280 @@
+/// \file interval_test.cpp
+/// The interval-arithmetic substrate of the feasibility prover
+/// (src/util/interval.h): constructor/hull semantics, outward rounding,
+/// the extended (Kahan) division case split, NaN poisoning, empty-set
+/// propagation, the monotone function extensions — and a randomized
+/// containment property over compound expressions, which is the
+/// contract the prover's soundness rests on.
+
+#include "src/util/interval.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace ape::util {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(IntervalBasics, DefaultIsPointZero) {
+  const Interval v;
+  EXPECT_TRUE(v.is_point());
+  EXPECT_EQ(v.lo(), 0.0);
+  EXPECT_EQ(v.hi(), 0.0);
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(IntervalBasics, PointConstructorIsExact) {
+  const Interval v(3.25);
+  EXPECT_EQ(v.lo(), 3.25);
+  EXPECT_EQ(v.hi(), 3.25);
+  EXPECT_TRUE(v.is_point());
+}
+
+TEST(IntervalBasics, SwappedEndpointsAreHulled) {
+  const Interval v(5.0, 2.0);
+  EXPECT_EQ(v.lo(), 2.0);
+  EXPECT_EQ(v.hi(), 5.0);
+}
+
+TEST(IntervalBasics, NanEndpointWidensToWholeLine) {
+  const Interval v(kNan, 2.0);
+  EXPECT_EQ(v.lo(), -kInf);
+  EXPECT_EQ(v.hi(), kInf);
+}
+
+TEST(IntervalBasics, ContainsAndIntersects) {
+  const Interval v(1.0, 4.0);
+  EXPECT_TRUE(v.contains(1.0));
+  EXPECT_TRUE(v.contains(4.0));
+  EXPECT_FALSE(v.contains(4.5));
+  EXPECT_TRUE(v.contains(Interval(2.0, 3.0)));
+  EXPECT_FALSE(v.contains(Interval(2.0, 5.0)));
+  EXPECT_TRUE(v.intersects(Interval(4.0, 9.0)));   // shared endpoint
+  EXPECT_FALSE(v.intersects(Interval(4.5, 9.0)));
+  EXPECT_FALSE(v.intersects(Interval::empty_set()));
+}
+
+TEST(IntervalBasics, IntersectAndJoin) {
+  const Interval a(1.0, 4.0), b(3.0, 9.0);
+  const Interval cap = Interval::intersect(a, b);
+  EXPECT_EQ(cap.lo(), 3.0);
+  EXPECT_EQ(cap.hi(), 4.0);
+  EXPECT_TRUE(Interval::intersect(a, Interval(5.0, 6.0)).empty());
+  const Interval cup = Interval::join(a, b);
+  EXPECT_EQ(cup.lo(), 1.0);
+  EXPECT_EQ(cup.hi(), 9.0);
+}
+
+TEST(IntervalBasics, EmptySetPropagatesThroughEverything) {
+  const Interval e = Interval::empty_set();
+  const Interval v(1.0, 2.0);
+  EXPECT_TRUE((e + v).empty());
+  EXPECT_TRUE((v - e).empty());
+  EXPECT_TRUE((e * v).empty());
+  EXPECT_TRUE((v / e).empty());
+  EXPECT_TRUE((-e).empty());
+  EXPECT_TRUE(sqrt(e).empty());
+  EXPECT_TRUE(atan(e).empty());
+  EXPECT_TRUE(min(e, v).empty());
+  EXPECT_TRUE(max(v, e).empty());
+  EXPECT_FALSE(e.contains(0.0));
+}
+
+// --- outward rounding ------------------------------------------------------
+
+TEST(IntervalRounding, SumBoundsAreWidenedOutward) {
+  // 0.1 + 0.2 is the canonical inexact sum; the enclosure must strictly
+  // contain the rounded double result on both sides.
+  const Interval s = Interval(0.1) + Interval(0.2);
+  EXPECT_LT(s.lo(), 0.1 + 0.2);
+  EXPECT_GT(s.hi(), 0.1 + 0.2);
+  EXPECT_TRUE(s.contains(0.1 + 0.2));
+}
+
+TEST(IntervalRounding, ExactZeroIsNotWidened) {
+  const Interval z = Interval(1.0) - Interval(1.0);
+  EXPECT_EQ(z.lo(), 0.0);
+  EXPECT_EQ(z.hi(), 0.0);
+}
+
+TEST(IntervalRounding, InfiniteBoundsStayInfinite) {
+  const Interval v(1.0, kInf);
+  const Interval s = v + Interval(1.0);
+  EXPECT_EQ(s.hi(), kInf);
+  EXPECT_TRUE(std::isfinite(s.lo()));
+}
+
+// --- multiplication --------------------------------------------------------
+
+TEST(IntervalMul, SignCasesCoverAllCandidateProducts) {
+  const Interval r = Interval(-2.0, 3.0) * Interval(-5.0, 4.0);
+  // True extremes: min(-2*4, 3*-5) = -15, max(-2*-5, 3*4) = 12.
+  EXPECT_LE(r.lo(), -15.0);
+  EXPECT_GE(r.hi(), 12.0);
+  EXPECT_GE(r.lo(), -15.0 - 1e-9);
+  EXPECT_LE(r.hi(), 12.0 + 1e-9);
+}
+
+TEST(IntervalMul, ZeroTimesInfinityIsZeroNotNan) {
+  const Interval r = Interval(0.0) * Interval(0.0, kInf);
+  EXPECT_TRUE(r.contains(0.0));
+  EXPECT_FALSE(std::isnan(r.lo()));
+  EXPECT_FALSE(std::isnan(r.hi()));
+}
+
+// --- extended division -----------------------------------------------------
+
+TEST(IntervalDiv, BoundedAwayFromZero) {
+  const Interval r = Interval(1.0, 2.0) / Interval(4.0, 8.0);
+  EXPECT_TRUE(r.contains(0.125));
+  EXPECT_TRUE(r.contains(0.5));
+  EXPECT_LE(r.lo(), 0.125);
+  EXPECT_GE(r.hi(), 0.5);
+}
+
+TEST(IntervalDiv, ZeroPointDivisorGivesWholeLine) {
+  const Interval r = Interval(1.0, 2.0) / Interval(0.0);
+  EXPECT_EQ(r.lo(), -kInf);
+  EXPECT_EQ(r.hi(), kInf);
+}
+
+TEST(IntervalDiv, ZeroDividendByZeroPointIsZero) {
+  // The exact quotient set of {0}/{0} under the closed-hull convention
+  // collapses to the point 0 (0/x == 0 for every nonzero x in any
+  // neighbourhood); the implementation returns [0, 0].
+  const Interval r = Interval(0.0) / Interval(0.0);
+  EXPECT_TRUE(r.contains(0.0));
+}
+
+TEST(IntervalDiv, DivisorTouchingZeroFromAboveIsHalfInfinite) {
+  // [1,2] / [0,4]: quotients run from 1/4 up to +inf.
+  const Interval r = Interval(1.0, 2.0) / Interval(0.0, 4.0);
+  EXPECT_EQ(r.hi(), kInf);
+  EXPECT_LE(r.lo(), 0.25);
+  EXPECT_GT(r.lo(), 0.0);
+}
+
+TEST(IntervalDiv, DivisorTouchingZeroFromBelowMirrors) {
+  // [1,2] / [-4,0]: quotients run from -inf up to -1/4.
+  const Interval r = Interval(1.0, 2.0) / Interval(-4.0, 0.0);
+  EXPECT_EQ(r.lo(), -kInf);
+  EXPECT_GE(r.hi(), -0.25 - 1e-12);
+  EXPECT_LT(r.hi(), 0.0);
+}
+
+TEST(IntervalDiv, InteriorZeroDivisorGivesWholeLine) {
+  const Interval r = Interval(1.0, 2.0) / Interval(-1.0, 1.0);
+  EXPECT_EQ(r.lo(), -kInf);
+  EXPECT_EQ(r.hi(), kInf);
+}
+
+// --- monotone extensions ---------------------------------------------------
+
+TEST(IntervalFns, SqrtClampsNegativePart) {
+  const Interval r = sqrt(Interval(-4.0, 9.0));
+  EXPECT_GE(r.lo(), 0.0);
+  EXPECT_GE(r.hi(), 3.0);
+  EXPECT_TRUE(sqrt(Interval(-9.0, -4.0)).empty());
+}
+
+TEST(IntervalFns, AtanIsMonotone) {
+  const Interval r = atan(Interval(0.0, 1.0));
+  EXPECT_LE(r.lo(), 0.0);
+  EXPECT_GE(r.hi(), std::atan(1.0));
+  EXPECT_TRUE(r.contains(std::atan(0.5)));
+}
+
+TEST(IntervalFns, AbsFoldsSignCases) {
+  const Interval r = abs(Interval(-3.0, 2.0));
+  EXPECT_EQ(r.lo(), 0.0);
+  EXPECT_GE(r.hi(), 3.0);
+}
+
+TEST(IntervalFns, MinMaxArePointwise) {
+  const Interval a(1.0, 5.0), b(3.0, 4.0);
+  const Interval lo = min(a, b);
+  EXPECT_EQ(lo.lo(), 1.0);
+  EXPECT_EQ(lo.hi(), 4.0);
+  const Interval hi = max(a, b);
+  EXPECT_EQ(hi.lo(), 3.0);
+  EXPECT_EQ(hi.hi(), 5.0);
+}
+
+TEST(IntervalFns, DoubleOverloadsForwardToStd) {
+  // The unqualified-call trick of the prover: util::sqrt(double) etc.
+  // must agree with std.
+  EXPECT_EQ(sqrt(4.0), 2.0);
+  EXPECT_EQ(atan(1.0), std::atan(1.0));
+  EXPECT_EQ(abs(-2.5), 2.5);
+  EXPECT_EQ(min(1.0, 2.0), 1.0);
+  EXPECT_EQ(max(1.0, 2.0), 2.0);
+}
+
+// --- the containment property ----------------------------------------------
+
+/// Randomized fundamental-theorem check: for random boxes [a] x [b] and
+/// random points inside them, every arithmetic primitive's interval
+/// result contains its double result. This single property is what makes
+/// the prover's interval evaluation a sound outer bound.
+TEST(IntervalProperty, PrimitivesContainPointResults) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const double a1 = rng.uniform(-10.0, 10.0);
+    const double a2 = rng.uniform(-10.0, 10.0);
+    const double b1 = rng.uniform(-10.0, 10.0);
+    const double b2 = rng.uniform(-10.0, 10.0);
+    const Interval A = Interval::hull(a1, a2);
+    const Interval B = Interval::hull(b1, b2);
+    const double x = rng.uniform(A.lo(), A.hi());
+    const double y = rng.uniform(B.lo(), B.hi());
+
+    EXPECT_TRUE((A + B).contains(x + y));
+    EXPECT_TRUE((A - B).contains(x - y));
+    EXPECT_TRUE((A * B).contains(x * y));
+    if (y != 0.0) {
+      EXPECT_TRUE((A / B).contains(x / y));
+    }
+    if (x >= 0.0) {
+      EXPECT_TRUE(sqrt(A).contains(std::sqrt(x)));
+    }
+    EXPECT_TRUE(atan(A).contains(std::atan(x)));
+    EXPECT_TRUE(abs(A).contains(std::fabs(x)));
+    EXPECT_TRUE(min(A, B).contains(std::min(x, y)));
+    EXPECT_TRUE(max(A, B).contains(std::max(x, y)));
+    if (x > 0.0) {
+      EXPECT_TRUE(log10(A).contains(std::log10(x)));
+    }
+  }
+}
+
+/// Compound-expression containment: a nontrivial rational expression in
+/// three variables, evaluated both ways over random boxes.
+TEST(IntervalProperty, CompoundExpressionContainsPointResults) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Interval A = Interval::hull(rng.uniform(0.1, 5.0),
+                                      rng.uniform(0.1, 5.0));
+    const Interval B = Interval::hull(rng.uniform(0.1, 5.0),
+                                      rng.uniform(0.1, 5.0));
+    const Interval C = Interval::hull(rng.uniform(-2.0, 2.0),
+                                      rng.uniform(-2.0, 2.0));
+    const double x = rng.uniform(A.lo(), A.hi());
+    const double y = rng.uniform(B.lo(), B.hi());
+    const double z = rng.uniform(C.lo(), C.hi());
+
+    const Interval iv = sqrt(A * B) / (A + B) + atan(C * C) - 2.0 * C / A;
+    const double pv =
+        std::sqrt(x * y) / (x + y) + std::atan(z * z) - 2.0 * z / x;
+    EXPECT_TRUE(iv.contains(pv))
+        << "trial " << trial << ": " << pv << " not in " << iv.str();
+  }
+}
+
+}  // namespace
+}  // namespace ape::util

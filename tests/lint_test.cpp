@@ -6,11 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/estimator/modules.h"
 #include "src/estimator/opamp.h"
 #include "src/estimator/process.h"
+#include "src/lint/prove.h"
 #include "src/runtime/batch.h"
 #include "src/spice/analysis.h"
+#include "src/stat/corners.h"
 #include "src/spice/devices.h"
 #include "src/spice/parser.h"
 
@@ -258,6 +263,99 @@ TEST(LintClean, ModuleTestbenchLintsClean) {
   const est::ModuleDesign design = est::ModuleEstimator(proc).estimate(spec);
   const Report rep = lint_testbench(design.testbench(proc));
   EXPECT_EQ(rep.errors(), 0) << rep.to_json();
+}
+
+// --- corner invariance ------------------------------------------------------
+// The APE-L/P/S/T rules are structural: their verdicts depend on the
+// netlist/spec shape, not on the model skews a PVT corner applies. For
+// every rule a corner-realized card can reach, the (rule, severity,
+// where) verdict sequence must be identical across tm/wp/ws/wo/wz —
+// only the feasibility family (APE-F) is allowed to see skews.
+
+std::vector<std::string> verdict_keys(const Report& rep) {
+  std::vector<std::string> keys;
+  for (const auto& f : rep.findings) {
+    keys.push_back(f.rule + '/' + to_string(f.severity) + '/' + f.where);
+  }
+  return keys;
+}
+
+TEST(LintCornerInvariance, SpecAndTestbenchVerdictsMatchAcrossSkewCards) {
+  const est::Process base = est::Process::default_1u2();
+  const std::vector<est::Process> cards =
+      stat::CornerSet::parse("tm,wp,ws,wo,wz").realize(base);
+  ASSERT_EQ(cards.size(), 5u);
+
+  // A battery covering every proc-consuming rule family: clean spec,
+  // bad value (S001), unit slip (S002), zout note (S005), W/L bounds
+  // (S003), module order (S001), and a dirty testbench (T001/T002).
+  std::vector<est::OpAmpSpec> specs(4);
+  specs[1].cload = -1e-12;
+  specs[2].ugf_hz = 1e13;
+  specs[3].zout = 500.0;
+  est::ModuleSpec module_spec;
+  module_spec.kind = est::ModuleKind::FlashAdc;
+  module_spec.order = 0;
+  est::OpAmpDesign design;
+  est::TransistorDesign t;
+  t.w = base.wmin / 2.0;
+  t.l = base.lmin;
+  design.transistors.push_back(t);
+  design.roles.push_back("m1_input");
+  est::Testbench tb;
+  tb.netlist = "tb\nV1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n";
+  tb.out_node = "nosuch";
+  tb.in_source = "vmissing";
+
+  std::vector<std::vector<std::string>> baseline;
+  for (const est::OpAmpSpec& s : specs) {
+    baseline.push_back(verdict_keys(lint_spec(s, cards[0])));
+  }
+  baseline.push_back(verdict_keys(lint_spec(module_spec, cards[0])));
+  baseline.push_back(verdict_keys(lint_design(design, cards[0])));
+  baseline.push_back(verdict_keys(lint_testbench(tb)));
+  // The battery must actually trip rules for the invariance to bite.
+  EXPECT_TRUE(lint_spec(specs[1], cards[0]).has("APE-S001"));
+  EXPECT_TRUE(lint_spec(specs[2], cards[0]).has("APE-S002"));
+  EXPECT_TRUE(lint_spec(specs[3], cards[0]).has("APE-S005"));
+  EXPECT_TRUE(lint_design(design, cards[0]).has("APE-S003"));
+
+  for (size_t c = 1; c < cards.size(); ++c) {
+    size_t k = 0;
+    for (const est::OpAmpSpec& s : specs) {
+      EXPECT_EQ(verdict_keys(lint_spec(s, cards[c])), baseline[k++])
+          << "spec verdict drifted at corner " << cards[c].variant;
+    }
+    EXPECT_EQ(verdict_keys(lint_spec(module_spec, cards[c])), baseline[k++])
+        << cards[c].variant;
+    EXPECT_EQ(verdict_keys(lint_design(design, cards[c])), baseline[k++])
+        << cards[c].variant;
+    EXPECT_EQ(verdict_keys(lint_testbench(tb)), baseline[k++])
+        << cards[c].variant;
+  }
+}
+
+// APE-F is the one family that *should* consult the corner card — but
+// its verdict on clearly-sided specs must still agree at every skew:
+// a budget below minimum geometry is infeasible everywhere, a sane
+// default spec feasible everywhere, and the proof names its corner.
+TEST(LintCornerInvariance, ApeFVerdictsPerCorner) {
+  const est::Process base = est::Process::default_1u2();
+  est::OpAmpSpec impossible;
+  impossible.area_budget = 1e-11;  // < 8 devices at minimum geometry
+  const est::OpAmpSpec sane;
+  for (const est::Process& card :
+       stat::CornerSet::parse("tm,wp,ws,wo,wz").realize(base)) {
+    const FeasibilityProof bad = prove_opamp_feasibility(card, impossible);
+    EXPECT_TRUE(bad.infeasible) << card.variant;
+    ASSERT_TRUE(bad.report.has("APE-F001")) << card.variant;
+    EXPECT_EQ(bad.report.first("APE-F001")->severity, Severity::Error);
+    EXPECT_EQ(bad.corner, card.variant);
+
+    const FeasibilityProof good = prove_opamp_feasibility(card, sane);
+    EXPECT_FALSE(good.infeasible) << card.variant;
+    EXPECT_EQ(good.report.errors(), 0) << card.variant;
+  }
 }
 
 // --- lint-first integration -------------------------------------------------

@@ -246,6 +246,45 @@ TEST(ServeDaemon, CornerSweepReturnsAYieldReport) {
   EXPECT_EQ(daemon.stop(), 0);
 }
 
+// A synthesize spec proven infeasible over the whole sizing box
+// (APE-F001) is answered at admission — status "infeasible" with the
+// proof attached — without consuming an executor slot or any synthesis
+// budget. Feasible requests are untouched.
+TEST(ServeDaemon, InfeasibleSynthesizeRejectedAtAdmissionWithProof) {
+  TestDaemon daemon(base_options("infeasible"));
+  Client client(daemon.server.socket_path());
+
+  // Gate-area budget below the minimum-geometry area (~3.84e-11 m^2):
+  // provably unmeetable, yet estimator-sane — exactly the spec that
+  // previously burned a full supervised synthesis.
+  json::Value r = call_json(
+      client,
+      "{\"op\":\"synthesize\",\"id\":\"inf\",\"spec\":{\"gain\":150,"
+      "\"ugf_hz\":2e6,\"ibias\":10e-6,\"cload\":10e-12,"
+      "\"area_budget\":1e-11}}");
+  EXPECT_EQ(field(r, "status"), "infeasible");
+  EXPECT_EQ(field(r, "id"), "inf");
+  const json::Value* findings =
+      r.find("proof") != nullptr ? r.find("proof")->find("findings") : nullptr;
+  ASSERT_NE(findings, nullptr) << "infeasible response must carry the proof";
+  ASSERT_FALSE(findings->items.empty());
+  EXPECT_EQ(findings->items[0].find("rule")->as_string(), "APE-F001");
+
+  // A feasible synthesize on the same connection still works.
+  json::Value ok = call_json(
+      client,
+      "{\"op\":\"synthesize\",\"spec\":{\"gain\":150,\"ugf_hz\":2e6,"
+      "\"ibias\":10e-6,\"cload\":10e-12},\"iterations\":30}");
+  EXPECT_EQ(field(ok, "status"), "ok");
+
+  // The rejection is accounted in its own counter and never entered the
+  // executor: completed_ok counts only the feasible job.
+  json::Value stats = call_json(client, "{\"op\":\"stats\"}");
+  EXPECT_EQ(num_field(stats, "proven_infeasible"), 1.0);
+  EXPECT_EQ(num_field(stats, "completed_ok"), 1.0);
+  EXPECT_EQ(daemon.stop(), 0);
+}
+
 TEST(ServeDaemon, MalformedPayloadDoesNotCorruptTheConnection) {
   TestDaemon daemon(base_options("malformed"));
   Client client(daemon.server.socket_path());

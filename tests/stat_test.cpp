@@ -408,6 +408,47 @@ TEST(StatSweep, CornerReEstimatesShareTheCache) {
   EXPECT_EQ(r.stats.cache.misses, 14);
 }
 
+TEST(StatSweep, ProvenInfeasibleCornersArePrunedBeforeAnyGridWork) {
+  OpAmpSpec impossible = easy_spec(0);
+  impossible.area_budget = 1e-11;  // below the 8-device min-geometry floor
+  std::vector<OpAmpSpec> specs{easy_spec(0), impossible};
+  const size_t n_corners = CornerSet::all().size();
+
+  runtime::EstimateCache cache;
+  const auto r =
+      runtime::run_corner_sweep(proc(), specs, estimate_sweep(2, 0, &cache));
+  ASSERT_EQ(r.jobs.size(), 2u);
+
+  // The sane spec: nothing pruned, every corner re-estimated.
+  ASSERT_TRUE(r.jobs[0].ok) << r.jobs[0].error;
+  EXPECT_EQ(r.jobs[0].corner_proven_infeasible,
+            std::vector<uint8_t>(n_corners, 0));
+
+  // The impossible spec: phase A still succeeds (the estimator treats
+  // the area budget as informational), but the interval proof refutes
+  // the spec at every corner card, so each cell skips its re-estimate
+  // and its sample work — the grid slots are recorded as failed points
+  // (zero yield, invariant report shape).
+  ASSERT_TRUE(r.jobs[1].ok) << r.jobs[1].error;
+  EXPECT_EQ(r.jobs[1].corner_proven_infeasible,
+            std::vector<uint8_t>(n_corners, 1));
+  EXPECT_EQ(r.jobs[1].corner_estimate_ok, std::vector<uint8_t>(n_corners, 0));
+  EXPECT_EQ(r.jobs[1].report.total.samples, long(n_corners));
+  EXPECT_EQ(r.jobs[1].report.total.pass, 0L);
+  EXPECT_EQ(r.corners_pruned, int(n_corners));
+
+  // Proving off: the same grid runs every cell (the default is on).
+  runtime::EstimateCache blind_cache;
+  runtime::SweepOptions blind = estimate_sweep(2, 0, &blind_cache);
+  blind.prove_corners = false;
+  const auto rb = runtime::run_corner_sweep(proc(), specs, blind);
+  EXPECT_EQ(rb.corners_pruned, 0);
+  ASSERT_TRUE(rb.jobs[1].ok) << rb.jobs[1].error;
+  EXPECT_EQ(rb.jobs[1].corner_proven_infeasible,
+            std::vector<uint8_t>(n_corners, 0));
+  EXPECT_EQ(rb.jobs[1].corner_estimate_ok, std::vector<uint8_t>(n_corners, 1));
+}
+
 TEST(StatSweep, MonteCarloRequiresSamples) {
   std::vector<OpAmpSpec> specs{easy_spec(0)};
   runtime::EstimateCache cache;

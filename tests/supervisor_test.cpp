@@ -334,6 +334,58 @@ TEST(SupervisorBatch, HangingTransientAndPermanentSpecsEachRecover) {
   }
 }
 
+// A spec proven infeasible over the whole sizing box (APE-F001,
+// src/lint/prove.h) is a fact about the input, not a flaky pipeline:
+// with lint_first on, the ladder must reject it pre-solve as Permanent —
+// one LintError attempt, straight to the estimate-only fallback, no
+// retry rungs burned, quarantine untouched. Before the prover this exact
+// spec ran a full synthesis (thousands of cost evaluations) per attempt.
+TEST(SupervisorBatch, ProvenInfeasibleSpecSkipsLadderPreSolve) {
+  OpAmpSpec impossible = clean_spec(0);
+  // Minimum-geometry gate area over the box is ~3.84e-11 m^2; a budget
+  // below it is provably unmeetable — yet the estimator (which treats
+  // the budget as informational) happily estimates it, so without the
+  // prover this spec grinds through a full synthesis per attempt.
+  impossible.area_budget = 1e-11;
+
+  SupervisorOptions sup = fast_supervised_options();
+  sup.batch.threads = 1;
+  sup.batch.lint_first = true;
+  sup.retry.plain_retries = 2;  // would be burned if the verdict retried
+  sup.retry.relaxed_retries = 1;
+  sup.retry.estimate_fallback = true;
+  QuarantineRegistry quarantine;
+  sup.quarantine = &quarantine;
+  sup.quarantine_threshold = 1;  // hair trigger: any counted failure trips
+
+  const auto r =
+      run_supervised_opamp_batch(proc(), {impossible}, sup);
+  ASSERT_EQ(r.jobs.size(), 1u);
+
+  // Attempt 1 throws the APE-F001 LintError before any solve; attempt 2
+  // is the estimate-only fallback. No plain/relaxed retry ever ran.
+  EXPECT_TRUE(r.jobs[0].ok) << r.jobs[0].error;
+  EXPECT_EQ(r.jobs[0].attempts, 2);
+  EXPECT_EQ(r.jobs[0].final_rung, RetryRung::EstimateOnly);
+  EXPECT_EQ(r.jobs[0].outcome.comment, "estimate-only fallback");
+  EXPECT_EQ(r.jobs[0].outcome.evaluations, 0) << "a solve ran after the proof";
+  EXPECT_EQ(r.supervision.estimate_fallbacks, 1);
+  EXPECT_EQ(r.supervision.retries, 1) << "only the rung hop, no retry ladder";
+
+  // The verdict is deterministic input badness: even with the
+  // hair-trigger threshold the quarantine registry stays empty.
+  EXPECT_EQ(quarantine.quarantined_count(), 0u);
+  EXPECT_EQ(r.supervision.quarantined_new, 0);
+
+  // Without the prover the same spec burns a real synthesis run.
+  SupervisorOptions blind = fast_supervised_options();
+  blind.batch.threads = 1;
+  blind.batch.lint_first = false;
+  const auto b = run_supervised_opamp_batch(proc(), {impossible}, blind);
+  ASSERT_TRUE(b.jobs[0].ok) << b.jobs[0].error;
+  EXPECT_GT(b.jobs[0].outcome.evaluations, 0);
+}
+
 TEST(SupervisorBatch, PersistentSimFailureKeepsBestSoFarOutcome) {
   // Verification fails on every attempt: the ladder must keep the
   // synthesized best-so-far design (sim_failed) rather than discard it
