@@ -153,6 +153,23 @@ else()
   message(STATUS "check_bench: prove_overhead_bp: ok (${cur_ovh} bp <= 500 bp)")
 endif()
 
+# Absolute gate: the numerical-health layer's Auto-mode cost on the
+# healthy headline opamp DC solve (DESIGN.md section 15), in basis points
+# of the health-off solve time. On a well-conditioned system Auto only
+# tracks the in-loop pivot min/max, so the bound is tight: 2% (200 bp).
+# Like prove_overhead_bp this is absolute and checked on the fresh run.
+string(JSON cur_hlt ERROR_VARIABLE cur_hlt_err GET "${cur_json}" health_overhead_bp)
+if(cur_hlt_err)
+  message(STATUS "check_bench: health_overhead_bp: skipped (absent)")
+elseif(cur_hlt GREATER 200)
+  message(SEND_ERROR
+    "check_bench: numerical-health layer cost ${cur_hlt} bp of the "
+    "headline opamp DC-solve time (bound: 200 bp = 2%)")
+  set(failed 1)
+else()
+  message(STATUS "check_bench: health_overhead_bp: ok (${cur_hlt} bp <= 200 bp)")
+endif()
+
 # -- BENCH_spice_kernel.json metrics (dense AND sparse LU paths) -----------
 check_metric(dense_n64_ns LOWER_IS_BETTER)
 check_metric(sparse_n64_ns LOWER_IS_BETTER)

@@ -306,6 +306,7 @@ int main(int argc, char** argv) {
     sw.supervisor.job_timeout_s = timeout_ms / 1000.0;
     if (retries > 0) {
       sw.supervisor.retry.plain_retries = retries;
+      sw.supervisor.retry.numeric_recovery_retries = 1;
       sw.supervisor.retry.relaxed_retries = 1;
       sw.supervisor.retry.estimate_fallback = true;
     }
@@ -438,6 +439,7 @@ int main(int argc, char** argv) {
     sup.job_timeout_s = timeout_ms / 1000.0;
     if (retries > 0) {
       sup.retry.plain_retries = retries;
+      sup.retry.numeric_recovery_retries = 1;
       sup.retry.relaxed_retries = 1;
       sup.retry.estimate_fallback = true;
     }
@@ -509,6 +511,8 @@ int main(int argc, char** argv) {
   put_kv(json, "cache_hit_rate", stats.cache.hit_rate());
   put_kv(json, "attempts", double(supervision.attempts));
   put_kv(json, "retries", double(supervision.retries));
+  put_kv(json, "numeric_recovery_attempts",
+         double(supervision.numeric_recovery_attempts));
   put_kv(json, "relaxed_attempts", double(supervision.relaxed_attempts));
   put_kv(json, "estimate_fallbacks", double(supervision.estimate_fallbacks));
   put_kv(json, "deadline_hits", double(supervision.deadline_hits));
@@ -516,7 +520,11 @@ int main(int argc, char** argv) {
   put_kv(json, "quarantine_skips", double(supervision.quarantine_skips));
   put_kv(json, "quarantined_new", double(supervision.quarantined_new));
   put_kv(json, "checkpoints_written", double(supervision.checkpoints_written));
-  put_kv(json, "resumed_jobs", double(supervision.resumed_jobs), false);
+  put_kv(json, "resumed_jobs", double(supervision.resumed_jobs));
+  put_kv(json, "numeric_recoveries", double(stats.kernel.numeric_recoveries));
+  put_kv(json, "refinement_solves", double(stats.kernel.refinement_solves));
+  put_kv(json, "equilibrated_solves", double(stats.kernel.equilibrated_solves));
+  put_kv(json, "residual_norm_max", stats.kernel.residual_norm_max, false);
   json += "}}\n";
 
   if (out_path.empty()) {

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   int repeat = 1;
   std::string corners;
   int mc_samples = 0;
+  ape::serve::ConnectOptions connect;
   ape::est::OpAmpSpec spec;
   bool spec_set = false;
 
@@ -85,6 +86,10 @@ int main(int argc, char** argv) {
       corners = next();
     } else if (arg == "--mc-samples") {
       mc_samples = std::atoi(next().c_str());
+    } else if (arg == "--connect-retries") {
+      connect.retries = std::atoi(next().c_str());
+    } else if (arg == "--connect-backoff-ms") {
+      connect.backoff_ms = std::atoi(next().c_str());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ape_client --socket PATH [--op ping|estimate|synthesize|"
@@ -92,7 +97,12 @@ int main(int argc, char** argv) {
           "                  [--id ID] [--timeout-ms T] [--iters N] [--seed S]\n"
           "                  [--gain X] [--ugf HZ] [--ibias A] [--cload F]\n"
           "                  [--corners SEL] [--mc-samples N]\n"
-          "                  [--netlist FILE] [--json REQUEST] [--repeat N]\n");
+          "                  [--netlist FILE] [--json REQUEST] [--repeat N]\n"
+          "                  [--connect-retries N] [--connect-backoff-ms MS]\n"
+          "\n"
+          "--connect-retries retries a refused / absent socket with bounded\n"
+          "exponential backoff (first wait --connect-backoff-ms, doubling,\n"
+          "capped at 2 s) — rides out a daemon that is still starting up.\n");
       return 0;
     } else {
       die("unknown option '" + arg + "' (see --help)");
@@ -127,7 +137,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ape::serve::Client client(socket_path);
+    ape::serve::Client client(socket_path, connect);
     int exit_code = 0;
     for (int r = 0; r < repeat; ++r) {
       const std::string response = client.call(request);

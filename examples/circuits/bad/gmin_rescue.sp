@@ -1,0 +1,13 @@
+bad: capacitively floating sense node (gmin rescue)
+* Deliberately broken (negative control for the lint-examples CI job):
+* 'sense' reaches the rest of the circuit only through C1, so it has no
+* DC path to ground and ape_lint must report APE-L004 (error) and exit
+* 1 on this file. Unlike the other negative controls, DC *simulation*
+* still succeeds: the gmin floor of the recovery ladder (DESIGN.md
+* section 15) holds the node up. numeric_health_test and serve-smoke
+* replay this file as the committed rescued-by-gmin fixture.
+Vin in 0 DC 1
+R1 in out 1k
+R2 out 0 1k
+C1 out sense 1p
+.end

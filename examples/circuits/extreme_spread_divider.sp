@@ -1,0 +1,18 @@
+extreme spread divider: twelve-decade conductance spread
+* Structurally clean (this file must lint green) but numerically nasty:
+* the 1 mohm feed puts a 1e3 S conductance in the same nodal matrix as
+* the two 1 Gohm (1e-9 S) branches that are all that hold node 'out',
+* so ||A|| ~ 1e3 while out's Thevenin resistance is ~5e8 ohm and the
+* MNA condition number is ~5e11 — far past the health layer's 1e10
+* trigger, so a plain double LU solve of this system has lost digits.
+* The numerical-health layer (DESIGN.md section 15) spots the spread
+* via its pivot monitors, estimates the condition number and refines
+* the solve back to ~1e-12 relative residual; numeric_health_test and
+* the serve smoke test replay this file to pin that behaviour. Exact
+* answer: V(out) = 0.5 V (equal-gigaohm divider, shifted ~0.05% by the
+* solver's 1e-12 S gmin floor), V(mid) ~ 1 V.
+Vin in 0 DC 1
+R1 in mid 1m
+R2 mid out 1G
+R3 out 0 1G
+.end

@@ -43,6 +43,7 @@ uint64_t fnv1a(const std::string& s) {
 void merge(SupervisionStats& into, const SupervisionStats& from) {
   into.attempts += from.attempts;
   into.retries += from.retries;
+  into.numeric_recovery_attempts += from.numeric_recovery_attempts;
   into.relaxed_attempts += from.relaxed_attempts;
   into.estimate_fallbacks += from.estimate_fallbacks;
   into.backoff_waits += from.backoff_waits;
@@ -56,7 +57,8 @@ void merge(SupervisionStats& into, const SupervisionStats& from) {
 }
 
 RetryRung rung_from_string(const std::string& s) {
-  for (RetryRung r : {RetryRung::Initial, RetryRung::Retry, RetryRung::Relaxed,
+  for (RetryRung r : {RetryRung::Initial, RetryRung::Retry,
+                      RetryRung::NumericRecovery, RetryRung::Relaxed,
                       RetryRung::EstimateOnly, RetryRung::Fail}) {
     if (s == to_string(r)) return r;
   }
@@ -212,11 +214,19 @@ SupervisedJobResult<Outcome> supervise_one(size_t index, uint64_t fp,
     ++stats.attempts;
     if (attempt > 0) ++stats.retries;
     if (rung == RetryRung::Relaxed) ++stats.relaxed_attempts;
+    if (rung == RetryRung::NumericRecovery) ++stats.numeric_recovery_attempts;
 
     ErrorContext attempt_scope("attempt[" + std::to_string(attempt) + "](" +
                                to_string(rung) + ")");
     std::optional<ScopedSolverRelaxation> relax;
     if (rung == RetryRung::Relaxed) relax.emplace(policy.relaxation);
+    // The numeric-recovery rung re-runs the attempt with the health
+    // layer forced on: every solve equilibrates, estimates its condition
+    // and refines (DESIGN.md section 15).
+    std::optional<ScopedNumericHealthMode> health_mode;
+    if (rung == RetryRung::NumericRecovery) {
+      health_mode.emplace(NumericHealthMode::Force);
+    }
     // Per-attempt fault injection (tests): configured and installed here,
     // on the worker thread, because a thread_local injector installed on
     // the submitting thread never reaches a pool worker.
@@ -569,6 +579,7 @@ void QuarantineRegistry::clear() {
 std::string SupervisionStats::summary() const {
   std::ostringstream os;
   os << "supervision: attempts=" << attempts << " retries=" << retries
+     << " numeric_recovery=" << numeric_recovery_attempts
      << " relaxed=" << relaxed_attempts
      << " estimate_fallbacks=" << estimate_fallbacks;
   if (backoff_waits > 0) {

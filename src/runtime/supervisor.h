@@ -99,6 +99,7 @@ private:
 struct SupervisionStats {
   int attempts = 0;           ///< ladder attempts actually run
   int retries = 0;            ///< attempts beyond each job's first
+  int numeric_recovery_attempts = 0;  ///< attempts under NumericHealthMode::Force
   int relaxed_attempts = 0;   ///< attempts run under ScopedSolverRelaxation
   int estimate_fallbacks = 0; ///< jobs resolved by the estimate-only rung
   int backoff_waits = 0;      ///< backoff sleeps taken

@@ -1,7 +1,10 @@
 #include "src/serve/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -11,27 +14,62 @@
 
 namespace ape::serve {
 
-Client::Client(const std::string& socket_path) {
+namespace {
+
+/// One connect(2) attempt; returns 0 or the failing errno. Opens and, on
+/// failure, closes its own fd so a retry starts from a clean socket (a
+/// failed connect leaves the fd in an unspecified state on POSIX).
+int try_connect(const sockaddr_un& addr, int* out_fd) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno;
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    close(fd);
+    return saved;
+  }
+  *out_fd = fd;
+  return 0;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const ConnectOptions& connect) {
   if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     throw SpecError("client: socket path too long for AF_UNIX");
-  }
-  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw Error(std::string("client: socket(): ") + std::strerror(errno));
   }
   sockaddr_un addr = {};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  int rc;
-  do {
-    rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    const std::string err = std::strerror(errno);
-    close(fd_);
-    fd_ = -1;
-    throw Error("client: connect('" + socket_path + "'): " + err);
+
+  const int attempts = 1 + std::max(connect.retries, 0);
+  int err = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff: backoff_ms * 2^(attempt-1), capped.
+      // Transient-only — a daemon mid-startup answers ENOENT (socket not
+      // yet bound) or ECONNREFUSED (bound, not yet listening).
+      long wait = std::max(connect.backoff_ms, 0);
+      for (int i = 1; i < attempt && wait < connect.backoff_max_ms; ++i) {
+        wait *= 2;
+      }
+      wait = std::min<long>(wait, std::max(connect.backoff_max_ms, 0));
+      if (wait > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      }
+    }
+    err = try_connect(addr, &fd_);
+    if (err == 0) return;
+    if (err != ECONNREFUSED && err != ENOENT) break;  // permanent
   }
+  throw Error("client: connect('" + socket_path +
+              "'): " + std::strerror(err) +
+              (attempts > 1 ? " (after " + std::to_string(attempts) +
+                                  " attempts)"
+                            : ""));
 }
 
 Client::~Client() {

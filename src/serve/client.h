@@ -15,11 +15,27 @@
 
 namespace ape::serve {
 
+/// Connection establishment policy. A daemon that is still binding its
+/// socket (or restarting under a supervisor) answers ECONNREFUSED or
+/// ENOENT for a moment; bounded exponential backoff rides that window
+/// out instead of failing the first script line of a fresh deployment.
+struct ConnectOptions {
+  /// Re-attempts after the initial connect (0 = fail immediately, the
+  /// historical behaviour). Only ECONNREFUSED / ENOENT are retried —
+  /// every other errno (EACCES, path too long, ...) is permanent.
+  int retries = 0;
+  /// First wait in milliseconds; doubles per attempt, capped below.
+  int backoff_ms = 50;
+  /// Cap on a single wait.
+  int backoff_max_ms = 2000;
+};
+
 class Client {
 public:
   /// Connect to the daemon at \p socket_path (throws ape::Error when the
-  /// socket is absent or refuses).
-  explicit Client(const std::string& socket_path);
+  /// socket is absent or refuses after the retry budget is spent).
+  explicit Client(const std::string& socket_path,
+                  const ConnectOptions& connect = ConnectOptions{});
   ~Client();
 
   Client(const Client&) = delete;

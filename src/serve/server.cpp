@@ -73,6 +73,8 @@ std::string ServerStats::summary() const {
      << " malformed=" << malformed_frames << " framing=" << framing_errors
      << " deadline_hits=" << deadline_hits << " cancelled=" << cancelled
      << " quarantine_hits=" << quarantine_hits
+     << " numeric_recoveries=" << numeric_recoveries
+     << " refinement_solves=" << refinement_solves
      << " proven_infeasible=" << proven_infeasible
      << " peak_in_flight=" << peak_in_flight;
   return os.str();
@@ -483,6 +485,7 @@ std::string Server::run_synthesize(Connection& conn, const Request& req) {
     sup.batch.synth.feasible_box = proof.feasible_box;
     sup.batch.synth.cost_lower_bound = proof.cost_lower_bound;
     sup.retry.plain_retries = std::max(options_.retries, 0);
+    sup.retry.numeric_recovery_retries = 1;
     sup.retry.relaxed_retries = 1;
     sup.retry.estimate_fallback = true;
     sup.job_timeout_s = remaining;
@@ -538,6 +541,7 @@ std::string Server::run_synthesize(Connection& conn, const Request& req) {
     ++stats_.completed_ok;
     if (r.estimate_fallback) ++stats_.degraded;
     if (r.deadline_hit) ++stats_.deadline_hits;
+    if (r.final_rung == RetryRung::NumericRecovery) ++stats_.numeric_recoveries;
     return json;
   });
 
@@ -595,10 +599,36 @@ std::string Server::run_simulate(Connection& conn, const Request& req) {
       ConvergenceReport report;
       spice::DcOptions opts;
       opts.report = &report;
-      const spice::Solution sol = spice::dc_operating_point(ckt, opts);
+      spice::Solution sol;
+      bool recovery_rung = false;
+      try {
+        sol = spice::dc_operating_point(ckt, opts);
+      } catch (const NumericError&) {
+        // The request-level NumericRecovery rung (DESIGN.md section 15):
+        // one re-run under forced numerical health — equilibration,
+        // condition estimation and iterative refinement on every solve —
+        // before failing the client, mirroring the batch ladder.
+        ScopedNumericHealthMode force(NumericHealthMode::Force);
+        sol = spice::dc_operating_point(ckt, opts);
+        recovery_rung = true;
+      }
+      // A request counts as a numeric recovery when any rung of the
+      // DESIGN.md section 15 ladder fired on its behalf: the in-kernel
+      // escalation (equilibrate-and-refactorize), the request-level
+      // Force re-run above, or — the ladder's first rung — refinement
+      // itself, which under ambient Auto mode only engages after pivot
+      // growth or the condition estimate crossed the health thresholds.
+      long recoveries =
+          report.kernel.numeric_recoveries + (recovery_rung ? 1 : 0);
+      if (recoveries == 0 && report.kernel.refinement_solves > 0) {
+        recoveries = 1;
+      }
       std::string json = response_head(req.id, "ok", false);
       append_kv(json, "converged", report.converged);
       append_kv(json, "newton_iterations", report.newton_iterations);
+      append_kv(json, "numeric_recoveries", recoveries);
+      append_kv(json, "refinement_solves", report.kernel.refinement_solves);
+      append_kv(json, "equilibrated_solves", report.kernel.equilibrated_solves);
       json += ",\"nodes\":{";
       for (size_t n = 0; n < ckt.num_nodes(); ++n) {
         if (n != 0) json += ',';
@@ -611,6 +641,8 @@ std::string Server::run_simulate(Connection& conn, const Request& req) {
       json += "}}";
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.completed_ok;
+      stats_.numeric_recoveries += recoveries;
+      stats_.refinement_solves += report.kernel.refinement_solves;
       return json;
     } catch (const Error& e) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -758,6 +790,8 @@ std::string Server::stats_response(const Request& req) const {
   append_kv(json, "deadline_hits", s.deadline_hits);
   append_kv(json, "cancelled", s.cancelled);
   append_kv(json, "quarantine_hits", s.quarantine_hits);
+  append_kv(json, "numeric_recoveries", s.numeric_recoveries);
+  append_kv(json, "refinement_solves", s.refinement_solves);
   append_kv(json, "proven_infeasible", s.proven_infeasible);
   append_kv(json, "peak_in_flight", s.peak_in_flight);
   append_kv(json, "in_flight", static_cast<long>(load()));

@@ -111,6 +111,10 @@ struct ServerStats {
   long deadline_hits = 0;
   long cancelled = 0;
   long quarantine_hits = 0;   ///< requests skipped on a quarantined spec
+  long numeric_recoveries = 0;///< requests rescued by the numerical-health
+                              ///< ladder (kernel-level recoveries plus
+                              ///< NumericRecovery retry rungs, DESIGN.md §15)
+  long refinement_solves = 0; ///< kernel solves that ran iterative refinement
   long peak_in_flight = 0;
 
   std::string summary() const;  ///< one-line human-readable flush

@@ -119,6 +119,20 @@ const DcOptions* effective_dc_options(const DcOptions& opts, DcOptions& storage,
   return &storage;
 }
 
+/// Summarize the run's numerical health into the report. The kernel's
+/// per-solve NumericHealth record only describes the last solve; the
+/// report-level record takes the run-wide view from the accumulated
+/// KernelStats gauges and counters (DESIGN.md section 15).
+void fill_report_health(ConvergenceReport* rep) {
+  const KernelStats& k = rep->kernel;
+  rep->health.cond_estimate = k.cond_estimate_max;
+  rep->health.pivot_growth = k.pivot_growth_max;
+  rep->health.residual_norm = k.residual_norm_max;
+  rep->health.refinement_iterations = static_cast<int>(k.refinement_iterations);
+  rep->health.equilibrated = k.equilibrated_solves > 0;
+  rep->health.recovered = k.numeric_recoveries > 0;
+}
+
 }  // namespace
 
 Solution dc_operating_point(Circuit& ckt, const DcOptions& caller_opts) {
@@ -175,6 +189,7 @@ Solution dc_operating_point(Circuit& ckt, const DcOptions& caller_opts) {
     if (ok) rep->plan = DcPlan::SourceStepping;
   }
   rep->kernel = ws.stats();
+  fill_report_health(rep);
   if (!ok) {
     throw NumericError("dc_operating_point: Newton failed to converge for '" +
                        ckt.title() + "' (" + rep->summary() + ")");
@@ -399,6 +414,7 @@ TranResult transient(Circuit& ckt, double t_step, double t_stop,
     out.solutions.push_back(x);
   }
   rep->kernel.accumulate(ws.stats());
+  fill_report_health(rep);
   rep->converged = true;
   return out;
 }

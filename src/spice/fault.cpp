@@ -68,6 +68,30 @@ bool FaultInjector::on_transient_step() {
   return true;
 }
 
+bool FaultInjector::on_refinement() {
+  const long ordinal = counts_.refinements++;
+  const bool fail = refine_fail_first_ >= 0 && ordinal >= refine_fail_first_ &&
+                    ordinal - refine_fail_first_ < refine_fail_count_;
+  if (fail) ++counts_.injected_refine_diverge;
+  return fail;
+}
+
+bool FaultInjector::on_equilibrate() {
+  const long ordinal = counts_.equilibrations++;
+  const bool fail = equil_fail_first_ >= 0 && ordinal >= equil_fail_first_ &&
+                    ordinal - equil_fail_first_ < equil_fail_count_;
+  if (fail) ++counts_.injected_equilibrate_overflow;
+  return fail;
+}
+
+bool FaultInjector::on_cond_estimate() {
+  const long ordinal = counts_.cond_estimates++;
+  const bool fail = cond_fail_first_ >= 0 && ordinal >= cond_fail_first_ &&
+                    ordinal - cond_fail_first_ < cond_fail_count_;
+  if (fail) ++counts_.injected_cond_fails;
+  return fail;
+}
+
 void FaultInjector::on_cost_eval() {
   const long ordinal = ++counts_.cost_evals;
   if (spec_error_period_ > 0 && ordinal % spec_error_period_ == 0) {

@@ -23,7 +23,10 @@
 ///    and cancellation tests of the supervised runtime);
 ///  - SpecError thrown from the synthesis cost evaluation (simulates an
 ///    estimator failure mid-synthesis);
-///  - random LU failures with configured probability (seeded).
+///  - random LU failures with configured probability (seeded);
+///  - numerical-health faults (DESIGN.md section 15): diverging iterative
+///    refinement, overflowing equilibration scales, and failing condition
+///    estimates, each on chosen probe ordinals.
 
 #include <cstdint>
 #include <limits>
@@ -41,10 +44,16 @@ public:
     long assemblies = 0;         ///< MNA assembly probe calls seen
     long cost_evals = 0;         ///< synthesis cost-eval probe calls seen
     long tran_steps = 0;         ///< transient Newton probe calls seen
+    long refinements = 0;        ///< iterative-refinement probe calls seen
+    long equilibrations = 0;     ///< equilibration probe calls seen
+    long cond_estimates = 0;     ///< condition-estimate probe calls seen
     int injected_singular = 0;   ///< forced-singular LU faults fired
     int injected_nonfinite = 0;  ///< NaN stamp poisonings fired
     int injected_vetoes = 0;     ///< convergence vetoes fired
     int injected_spec_errors = 0;///< cost-eval SpecErrors fired
+    int injected_refine_diverge = 0;      ///< refinement divergences fired
+    int injected_equilibrate_overflow = 0;///< equilibration overflows fired
+    int injected_cond_fails = 0; ///< condition-estimate failures fired
   };
 
   explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
@@ -95,6 +104,30 @@ public:
   /// (1-based period; n = 3 faults evals 3, 6, 9, ...).
   void throw_spec_error_every(long n) { spec_error_period_ = n; }
 
+  /// Force iterative refinement with 0-based ordinals in
+  /// [first, first + count) to diverge (the kernel keeps the factored
+  /// solution and escalates along the recovery ladder).
+  void refine_diverge(long first, long count = 1) {
+    refine_fail_first_ = first;
+    refine_fail_count_ = count;
+  }
+
+  /// Force equilibration-scale computations with 0-based ordinals in
+  /// [first, first + count) to report overflow (the kernel skips
+  /// equilibration for that solve and moves to the next rung).
+  void equilibrate_overflow(long first, long count = 1) {
+    equil_fail_first_ = first;
+    equil_fail_count_ = count;
+  }
+
+  /// Force condition estimates with 0-based ordinals in
+  /// [first, first + count) to fail; the kernel records +inf and treats
+  /// the system as suspect (refinement triggers).
+  void cond_estimate_fail(long first, long count = 1) {
+    cond_fail_first_ = first;
+    cond_fail_count_ = count;
+  }
+
   // --- probes (called from instrumented code; cheap when not configured) ---
 
   /// LU solve probe. Returns true when this solve must fail as singular.
@@ -115,6 +148,18 @@ public:
   /// Synthesis cost-eval probe. Throws ape::SpecError when configured.
   void on_cost_eval();
 
+  /// Iterative-refinement probe. Returns true when this refinement must
+  /// be treated as diverged.
+  bool on_refinement();
+
+  /// Equilibration probe. Returns true when the scale computation must
+  /// be treated as overflowed (equilibration skipped).
+  bool on_equilibrate();
+
+  /// Condition-estimate probe. Returns true when the estimate must fail
+  /// (reported as +inf by the kernel).
+  bool on_cond_estimate();
+
   const Counts& counts() const { return counts_; }
 
 private:
@@ -131,6 +176,12 @@ private:
   int veto_tran_left_ = 0;
   double tran_stall_s_ = 0.0;
   long spec_error_period_ = 0;
+  long refine_fail_first_ = -1;
+  long refine_fail_count_ = 0;
+  long equil_fail_first_ = -1;
+  long equil_fail_count_ = 0;
+  long cond_fail_first_ = -1;
+  long cond_fail_count_ = 0;
 };
 
 /// The injector installed on this thread (nullptr in production).

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 
+#include "src/spice/fault.h"
 #include "src/util/error.h"
 
 namespace ape::spice {
@@ -39,6 +42,14 @@ SolveWorkspace::SolveWorkspace(Circuit& ckt)
   lu_.reserve(dim_);
   xnew_.assign(dim_, 0.0);
   zero_x_.x.assign(dim_, 0.0);
+  row_scale_.assign(dim_, 1.0);
+  col_scale_.assign(dim_, 1.0);
+  col_sums_.assign(dim_, 0.0);
+  hresid_.assign(dim_, 0.0);
+  hdx_.assign(dim_, 0.0);
+  hbest_.assign(dim_, 0.0);
+  hwork_.assign(dim_, 0.0);
+  hwork2_.assign(dim_, 0.0);
   begin_capture();
   setup_bytes_ = measured_bytes();
   stats_.workspace_bytes = setup_bytes_;
@@ -148,12 +159,40 @@ void SolveWorkspace::sync_sparse_stats() {
 
 const std::vector<double>& SolveWorkspace::solve() {
   if (!frozen_) freeze_pattern();
+  health_ = NumericHealth{};
+  equilibrated_now_ = false;
+  const NumericHealthMode mode = ambient_health_mode();
   if (use_sparse_) {
     const double* a = mna_.matrix().data();
     for (size_t s = 0; s < flat_idx_.size(); ++s) svals_[s] = a[flat_idx_[s]];
+    bool factored = false;
+    // Force mode (the supervisor's numeric-recovery rung) equilibrates
+    // up front; otherwise equilibration is the rescue rung below.
+    if (mode == NumericHealthMode::Force) try_equilibrate_sparse();
     try {
       slu_.factorize(pattern_, svals_);
-      slu_.solve_into(mna_.rhs(), xnew_);
+      factored = true;
+    } catch (const NumericError&) {
+      if (mode != NumericHealthMode::Off && !equilibrated_now_ &&
+          try_equilibrate_sparse()) {
+        try {
+          slu_.factorize(pattern_, svals_);
+          factored = true;
+          health_.recovered = true;
+        } catch (const NumericError&) {
+        }
+      }
+    }
+    if (factored) {
+      if (equilibrated_now_) {
+        // The factors hold RAC: solve (RAC) y = R b, then x = C y.
+        hwork_ = mna_.rhs();
+        scale_vector(hwork_, row_scale_);
+        slu_.solve_into(hwork_, xnew_);
+        scale_vector(xnew_, col_scale_);
+      } else {
+        slu_.solve_into(mna_.rhs(), xnew_);
+      }
       ++stats_.solves;
       sync_sparse_stats();
       if (!sparse_bytes_settled_) {
@@ -165,20 +204,245 @@ const std::vector<double>& SolveWorkspace::solve() {
         setup_bytes_ = measured_bytes();
         stats_.workspace_bytes = setup_bytes_;
       }
+      if (mode != NumericHealthMode::Off) run_health_checks(true, mode);
+      record_health();
       return xnew_;
-    } catch (const NumericError&) {
-      // Stale pivot ordering (Newton moved the values) or a genuinely
-      // singular system: the dense solver below re-pivots from scratch
-      // and throws its own NumericError if the system really is singular.
-      ++stats_.sparse_fallbacks;
-      sync_sparse_stats();
+    }
+    // Kernel-switch rung: stale pivot ordering (Newton moved the values)
+    // or a system the scaled sparse refactor still could not pivot — the
+    // dense solver below re-pivots from scratch and throws its own
+    // NumericError if the system really is singular.
+    ++stats_.sparse_fallbacks;
+    sync_sparse_stats();
+    equilibrated_now_ = false;
+    health_.equilibrated = false;
+    if (mode != NumericHealthMode::Off) health_.recovered = true;
+  }
+  if (mode == NumericHealthMode::Force && !equilibrated_now_) {
+    try_equilibrate_dense();
+  }
+  try {
+    factor_dense();
+  } catch (const NumericError&) {
+    // Equilibrate-and-refactorize rung for the dense path; rethrows the
+    // singularity if scaling cannot save it (the Newton ladders above
+    // then bump gmin / step the sources).
+    if (mode == NumericHealthMode::Off || equilibrated_now_) throw;
+    if (!try_equilibrate_dense()) throw;
+    factor_dense();
+    health_.recovered = true;
+  }
+  if (equilibrated_now_) {
+    hwork_ = mna_.rhs();
+    scale_vector(hwork_, row_scale_);
+    lu_.solve_into(hwork_, xnew_);
+    scale_vector(xnew_, col_scale_);
+  } else {
+    lu_.solve_into(mna_.rhs(), xnew_);
+  }
+  ++stats_.solves;
+  if (mode != NumericHealthMode::Off) run_health_checks(false, mode);
+  record_health();
+  return xnew_;
+}
+
+bool SolveWorkspace::try_equilibrate_sparse() {
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr && fi->on_equilibrate()) return false;
+  if (!compute_equilibration_csr(pattern_.row_ptr().data(),
+                                 pattern_.cols().data(), svals_.data(), dim_,
+                                 row_scale_, col_scale_)) {
+    return false;
+  }
+  scale_csr(pattern_.row_ptr().data(), pattern_.cols().data(), svals_.data(),
+            dim_, row_scale_, col_scale_);
+  equilibrated_now_ = true;
+  health_.equilibrated = true;
+  return true;
+}
+
+bool SolveWorkspace::try_equilibrate_dense() {
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr && fi->on_equilibrate()) return false;
+  if (!compute_equilibration(mna_.matrix().data(), dim_, row_scale_,
+                             col_scale_)) {
+    return false;
+  }
+  equilibrated_now_ = true;
+  health_.equilibrated = true;
+  return true;
+}
+
+void SolveWorkspace::factor_dense() {
+  if (equilibrated_now_) {
+    // Scale the stamped system in place (bit-exact powers of two),
+    // factorize the scaled copy inside lu_, and restore the stamps
+    // immediately — probes and residuals always see the original.
+    scale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+    try {
+      lu_.factorize(mna_.matrix());
+    } catch (...) {
+      unscale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+      equilibrated_now_ = false;
+      health_.equilibrated = false;
+      throw;
+    }
+    unscale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+  } else {
+    lu_.factorize(mna_.matrix());
+  }
+  ++stats_.factorizations;
+}
+
+void SolveWorkspace::run_health_checks(bool sparse, NumericHealthMode mode) {
+  const double growth = sparse ? slu_.pivot_growth() : lu_.pivot_growth();
+  const double scale = sparse ? slu_.max_abs_scale() : lu_.max_abs_scale();
+  const double min_piv = sparse ? slu_.min_pivot() : lu_.min_pivot();
+  health_.pivot_growth = growth;
+  // O(1) condition lower-bound proxy from the pivot extremes: a spread
+  // of 1e12 between the largest entry and the smallest pivot means cond
+  // is at least of that order, growth or no growth.
+  const double cond_proxy = min_piv > 0.0 ? scale / min_piv : 0.0;
+  const bool suspect = growth > health::kPivotGrowthTrigger ||
+                       cond_proxy > health::kCondTrigger;
+  if (mode != NumericHealthMode::Force && !suspect) return;
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr && fi->on_cond_estimate()) {
+    health_.cond_estimate = std::numeric_limits<double>::infinity();
+  } else {
+    const double anorm1 = norm1_dense(mna_.matrix().data(), dim_, col_sums_);
+    const std::function<void(std::vector<double>&)> sol =
+        [&](std::vector<double>& v) {
+          // A^-1 = C (RAC)^-1 R around the live (possibly scaled) factors.
+          if (equilibrated_now_) scale_vector(v, row_scale_);
+          hwork_ = v;
+          if (sparse) {
+            slu_.solve_into(hwork_, v);
+          } else {
+            lu_.solve_into(hwork_, v);
+          }
+          if (equilibrated_now_) scale_vector(v, col_scale_);
+        };
+    const std::function<void(std::vector<double>&)> sol_t =
+        [&](std::vector<double>& v) {
+          // A^-T = R (RAC)^-T C.
+          if (equilibrated_now_) scale_vector(v, col_scale_);
+          hwork_ = v;
+          if (sparse) {
+            slu_.solve_transposed_into(hwork_, v);
+          } else {
+            lu_.solve_transposed_into(hwork_, v);
+          }
+          if (equilibrated_now_) scale_vector(v, row_scale_);
+        };
+    health_.cond_estimate = condest_1norm<double>(dim_, anorm1, sol, sol_t, hwork2_);
+  }
+  const bool refine = mode == NumericHealthMode::Force ||
+                      growth > health::kPivotGrowthTrigger ||
+                      !(health_.cond_estimate < health::kCondTrigger);
+  if (refine) refine_current(sparse);
+}
+
+void SolveWorkspace::refine_current(bool sparse) {
+  // The residual matvec runs against the dense mna_ storage — the
+  // authoritative unscaled system on both paths (the sparse solve
+  // gathers its values *from* it).
+  const double anorm_inf = norm_inf_dense(mna_.matrix().data(), dim_);
+  const std::function<void(const std::vector<double>&, std::vector<double>&)>
+      matvec = [&](const std::vector<double>& v, std::vector<double>& y) {
+        const double* a = mna_.matrix().data();
+        y.resize(dim_);
+        for (size_t i = 0; i < dim_; ++i) {
+          double acc = 0.0;
+          const double* row = a + i * dim_;
+          for (size_t j = 0; j < dim_; ++j) acc += row[j] * v[j];
+          y[i] = acc;
+        }
+      };
+  const std::function<void(const std::vector<double>&, std::vector<double>&)>
+      correct = [&](const std::vector<double>& r, std::vector<double>& d) {
+        hwork_ = r;
+        if (equilibrated_now_) scale_vector(hwork_, row_scale_);
+        if (sparse) {
+          slu_.solve_into(hwork_, d);
+        } else {
+          lu_.solve_into(hwork_, d);
+        }
+        if (equilibrated_now_) scale_vector(d, col_scale_);
+      };
+  FaultInjector* fi = fault_injector();
+  RefineOutcome out;
+  if (fi != nullptr && fi->on_refinement()) {
+    // Injected divergence: keep the factored solution, measure its
+    // residual, and escalate exactly like a real divergence below.
+    out.residual = relative_residual<double>(mna_.rhs(), xnew_, matvec,
+                                             anorm_inf, hresid_);
+    out.diverged = true;
+  } else {
+    out = refine_solution<double>(mna_.rhs(), xnew_, matvec, correct,
+                                  anorm_inf, hresid_, hdx_, hbest_);
+  }
+  ++stats_.refinement_solves;
+  stats_.refinement_iterations += out.iterations;
+  if (out.diverged && !equilibrated_now_) {
+    // Escalation: refinement could not fix the unscaled factorization —
+    // equilibrate, refactorize, resolve, refine once more.
+    bool redone = false;
+    if (sparse) {
+      if (try_equilibrate_sparse()) {
+        try {
+          slu_.factorize(pattern_, svals_);
+          hwork_ = mna_.rhs();
+          scale_vector(hwork_, row_scale_);
+          slu_.solve_into(hwork_, xnew_);
+          scale_vector(xnew_, col_scale_);
+          redone = true;
+        } catch (const NumericError&) {
+          equilibrated_now_ = false;
+          health_.equilibrated = false;
+        }
+      }
+    } else {
+      if (try_equilibrate_dense()) {
+        try {
+          factor_dense();
+          hwork_ = mna_.rhs();
+          scale_vector(hwork_, row_scale_);
+          lu_.solve_into(hwork_, xnew_);
+          scale_vector(xnew_, col_scale_);
+          redone = true;
+        } catch (const NumericError&) {
+          // factor_dense cleared the equilibration flags before rethrow.
+        }
+      }
+    }
+    if (redone) {
+      health_.recovered = true;
+      ++stats_.solves;
+      const RefineOutcome again =
+          refine_solution<double>(mna_.rhs(), xnew_, matvec, correct,
+                                  anorm_inf, hresid_, hdx_, hbest_);
+      stats_.refinement_iterations += again.iterations;
+      out.residual = again.residual;
+      out.iterations += again.iterations;
     }
   }
-  lu_.factorize(mna_.matrix());
-  ++stats_.factorizations;
-  lu_.solve_into(mna_.rhs(), xnew_);
-  ++stats_.solves;
-  return xnew_;
+  health_.residual_norm = out.residual;
+  health_.refinement_iterations = out.iterations;
+}
+
+void SolveWorkspace::record_health() {
+  if (health_.pivot_growth > stats_.pivot_growth_max) {
+    stats_.pivot_growth_max = health_.pivot_growth;
+  }
+  if (health_.cond_estimate > stats_.cond_estimate_max) {
+    stats_.cond_estimate_max = health_.cond_estimate;
+  }
+  if (health_.residual_norm > stats_.residual_norm_max) {
+    stats_.residual_norm_max = health_.residual_norm;
+  }
+  if (health_.equilibrated) ++stats_.equilibrated_solves;
+  if (health_.recovered) ++stats_.numeric_recoveries;
 }
 
 size_t SolveWorkspace::measured_bytes() const {
@@ -186,7 +450,10 @@ size_t SolveWorkspace::measured_bytes() const {
   return (mna_.matrix().size() + base_.matrix().size() + lu_.size() * lu_.size()) * d +
          (mna_.rhs().size() + base_.rhs().size() + xnew_.size() + zero_x_.x.size()) * d +
          lu_.size() * sizeof(size_t) + pattern_.memory_bytes() + slu_.memory_bytes() +
-         svals_.capacity() * d + flat_idx_.capacity() * sizeof(size_t);
+         svals_.capacity() * d + flat_idx_.capacity() * sizeof(size_t) +
+         (row_scale_.capacity() + col_scale_.capacity() + col_sums_.capacity() +
+          hresid_.capacity() + hdx_.capacity() + hbest_.capacity() +
+          hwork_.capacity() + hwork2_.capacity()) * d;
 }
 
 const KernelStats& SolveWorkspace::stats() {
@@ -206,6 +473,14 @@ AcKernel::AcKernel(Circuit& ckt) : ckt_(&ckt), dim_((ckt.finalize(), ckt.dim()))
   lu_.reserve(dim_);
   g_.assign(dim_ * dim_, 0.0);
   c_.assign(dim_ * dim_, 0.0);
+  row_scale_.assign(dim_, 1.0);
+  col_scale_.assign(dim_, 1.0);
+  col_sums_.assign(dim_, 0.0);
+  cresid_.assign(dim_, {});
+  cdx_.assign(dim_, {});
+  cbest_.assign(dim_, {});
+  cwork_.assign(dim_, {});
+  cwork2_.assign(dim_, {});
 
   // Every shipped device's small-signal stamp is affine in w:
   //   A(w) = G + jwC with real G, C and a w-independent stimulus.
@@ -307,10 +582,38 @@ void AcKernel::assemble(double omega) {
 }
 
 void AcKernel::factorize() {
+  health_ = NumericHealth{};
+  equilibrated_now_ = false;
+  refine_active_ = false;
+  const NumericHealthMode mode = ambient_health_mode();
   if (use_sparse_) {
+    bool factored = false;
+    if (mode == NumericHealthMode::Force) try_equilibrate_sparse();
     try {
       slu_.factorize(pattern_, avals_);
+      factored = true;
+    } catch (const NumericError&) {
+      // Equilibrate-and-refactorize rung before abandoning the sparse
+      // path for this point.
+      if (mode != NumericHealthMode::Off && !equilibrated_now_ &&
+          try_equilibrate_sparse()) {
+        try {
+          slu_.factorize(pattern_, avals_);
+          factored = true;
+          health_.recovered = true;
+        } catch (const NumericError&) {
+        }
+      }
+    }
+    if (factored) {
       sparse_live_ = true;
+      if (equilibrated_now_) {
+        // The factors hold RAC; restore the original slot values so
+        // residual matvecs and norms see A itself.
+        for (size_t s = 0; s < avals_.size(); ++s) {
+          avals_[s] = std::complex<double>(gs_[s], last_omega_ * cs_[s]);
+        }
+      }
       const SparseLuStats& s = slu_.stats();
       stats_.symbolic_analyses = s.symbolic_analyses;
       stats_.symbolic_reuses = s.symbolic_reuses;
@@ -325,37 +628,228 @@ void AcKernel::factorize() {
         setup_bytes_ = measured_bytes();
         stats_.workspace_bytes = setup_bytes_;
       }
+      if (mode != NumericHealthMode::Off) post_factor_health(mode);
       return;
-    } catch (const NumericError&) {
-      // Dense rescue: rebuild the dense system for this point and
-      // re-pivot from scratch (throws if genuinely singular).
-      ++stats_.sparse_fallbacks;
-      sparse_live_ = false;
-      assemble_dense(last_omega_);
     }
+    // Kernel-switch rung (dense rescue): rebuild the dense system for
+    // this point and re-pivot from scratch (throws if genuinely singular).
+    ++stats_.sparse_fallbacks;
+    sparse_live_ = false;
+    assemble_dense(last_omega_);
+    equilibrated_now_ = false;
+    health_.equilibrated = false;
+    if (mode != NumericHealthMode::Off) health_.recovered = true;
   }
-  lu_.factorize(mna_.matrix());
+  if (mode == NumericHealthMode::Force && !equilibrated_now_) {
+    try_equilibrate_dense();
+  }
+  try {
+    factor_dense();
+  } catch (const NumericError&) {
+    if (mode == NumericHealthMode::Off || equilibrated_now_) throw;
+    if (!try_equilibrate_dense()) throw;
+    factor_dense();
+    health_.recovered = true;
+  }
+  if (mode != NumericHealthMode::Off) post_factor_health(mode);
+}
+
+bool AcKernel::try_equilibrate_sparse() {
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr && fi->on_equilibrate()) return false;
+  if (!compute_equilibration_csr(pattern_.row_ptr().data(),
+                                 pattern_.cols().data(), avals_.data(), dim_,
+                                 row_scale_, col_scale_)) {
+    return false;
+  }
+  scale_csr(pattern_.row_ptr().data(), pattern_.cols().data(), avals_.data(),
+            dim_, row_scale_, col_scale_);
+  equilibrated_now_ = true;
+  health_.equilibrated = true;
+  return true;
+}
+
+bool AcKernel::try_equilibrate_dense() {
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr && fi->on_equilibrate()) return false;
+  if (!compute_equilibration(mna_.matrix().data(), dim_, row_scale_,
+                             col_scale_)) {
+    return false;
+  }
+  equilibrated_now_ = true;
+  health_.equilibrated = true;
+  return true;
+}
+
+void AcKernel::factor_dense() {
+  if (equilibrated_now_) {
+    scale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+    try {
+      lu_.factorize(mna_.matrix());
+    } catch (...) {
+      unscale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+      equilibrated_now_ = false;
+      health_.equilibrated = false;
+      throw;
+    }
+    unscale_dense(mna_.matrix().data(), dim_, row_scale_, col_scale_);
+  } else {
+    lu_.factorize(mna_.matrix());
+  }
   ++stats_.factorizations;
 }
 
-void AcKernel::solve_into(std::vector<std::complex<double>>& out) {
-  factorize();
-  if (sparse_live_) {
-    slu_.solve_into(mna_.rhs(), out);
-  } else {
-    lu_.solve_into(mna_.rhs(), out);
+void AcKernel::post_factor_health(NumericHealthMode mode) {
+  const double growth = sparse_live_ ? slu_.pivot_growth() : lu_.pivot_growth();
+  const double scale = sparse_live_ ? slu_.max_abs_scale() : lu_.max_abs_scale();
+  const double min_piv = sparse_live_ ? slu_.min_pivot() : lu_.min_pivot();
+  health_.pivot_growth = growth;
+  const double cond_proxy = min_piv > 0.0 ? scale / min_piv : 0.0;
+  const bool suspect = growth > health::kPivotGrowthTrigger ||
+                       cond_proxy > health::kCondTrigger;
+  if (mode == NumericHealthMode::Force || suspect) {
+    FaultInjector* fi = fault_injector();
+    if (fi != nullptr && fi->on_cond_estimate()) {
+      health_.cond_estimate = std::numeric_limits<double>::infinity();
+    } else {
+      const double anorm1 =
+          sparse_live_
+              ? norm1_csr(pattern_.row_ptr().data(), pattern_.cols().data(),
+                          avals_.data(), dim_, col_sums_)
+              : norm1_dense(mna_.matrix().data(), dim_, col_sums_);
+      using CVec = std::vector<std::complex<double>>;
+      const std::function<void(CVec&)> sol = [&](CVec& v) {
+        if (equilibrated_now_) scale_vector(v, row_scale_);
+        cwork_ = v;
+        if (sparse_live_) {
+          slu_.solve_into(cwork_, v);
+        } else {
+          lu_.solve_into(cwork_, v);
+        }
+        if (equilibrated_now_) scale_vector(v, col_scale_);
+      };
+      const std::function<void(CVec&)> sol_t = [&](CVec& v) {
+        if (equilibrated_now_) scale_vector(v, col_scale_);
+        cwork_ = v;
+        if (sparse_live_) {
+          slu_.solve_transposed_into(cwork_, v);
+        } else {
+          lu_.solve_transposed_into(cwork_, v);
+        }
+        if (equilibrated_now_) scale_vector(v, row_scale_);
+      };
+      health_.cond_estimate =
+          condest_1norm<std::complex<double>>(dim_, anorm1, sol, sol_t, cwork2_);
+    }
+    refine_active_ = mode == NumericHealthMode::Force ||
+                     growth > health::kPivotGrowthTrigger ||
+                     !(health_.cond_estimate < health::kCondTrigger);
+    if (refine_active_) {
+      anorm_inf_ =
+          sparse_live_
+              ? norm_inf_csr(pattern_.row_ptr().data(), avals_.data(), dim_)
+              : norm_inf_dense(mna_.matrix().data(), dim_);
+    }
   }
-  ++stats_.solves;
+  if (health_.pivot_growth > stats_.pivot_growth_max) {
+    stats_.pivot_growth_max = health_.pivot_growth;
+  }
+  if (health_.cond_estimate > stats_.cond_estimate_max) {
+    stats_.cond_estimate_max = health_.cond_estimate;
+  }
+  if (health_.equilibrated) ++stats_.equilibrated_solves;
+  if (health_.recovered) ++stats_.numeric_recoveries;
 }
 
-void AcKernel::solve_rhs(const std::vector<std::complex<double>>& rhs,
-                         std::vector<std::complex<double>>& out) {
+void AcKernel::matvec_current(const std::vector<std::complex<double>>& v,
+                              std::vector<std::complex<double>>& y) const {
+  y.resize(dim_);
   if (sparse_live_) {
+    const std::vector<int>& rp = pattern_.row_ptr();
+    const std::vector<int>& cols = pattern_.cols();
+    for (size_t i = 0; i < dim_; ++i) {
+      std::complex<double> acc;
+      for (int s = rp[i]; s < rp[i + 1]; ++s) acc += avals_[s] * v[cols[s]];
+      y[i] = acc;
+    }
+  } else {
+    const std::complex<double>* a = mna_.matrix().data();
+    for (size_t i = 0; i < dim_; ++i) {
+      std::complex<double> acc;
+      const std::complex<double>* row = a + i * dim_;
+      for (size_t j = 0; j < dim_; ++j) acc += row[j] * v[j];
+      y[i] = acc;
+    }
+  }
+}
+
+void AcKernel::refine_in_place(const std::vector<std::complex<double>>& rhs,
+                               std::vector<std::complex<double>>& x) {
+  using CVec = std::vector<std::complex<double>>;
+  const std::function<void(const CVec&, CVec&)> matvec =
+      [this](const CVec& v, CVec& y) { matvec_current(v, y); };
+  const std::function<void(const CVec&, CVec&)> correct = [&](const CVec& r,
+                                                              CVec& d) {
+    cwork_ = r;
+    if (equilibrated_now_) scale_vector(cwork_, row_scale_);
+    if (sparse_live_) {
+      slu_.solve_into(cwork_, d);
+    } else {
+      lu_.solve_into(cwork_, d);
+    }
+    if (equilibrated_now_) scale_vector(d, col_scale_);
+  };
+  FaultInjector* fi = fault_injector();
+  RefineOutcome out;
+  if (fi != nullptr && fi->on_refinement()) {
+    // Injected divergence: keep the factored solution (its residual is
+    // still measured and surfaced); the AC sweep has no further rung —
+    // the dense rescue already ran at factorization time.
+    out.residual = relative_residual<std::complex<double>>(rhs, x, matvec,
+                                                           anorm_inf_, cresid_);
+    out.diverged = true;
+  } else {
+    out = refine_solution<std::complex<double>>(rhs, x, matvec, correct,
+                                                anorm_inf_, cresid_, cdx_,
+                                                cbest_);
+  }
+  ++stats_.refinement_solves;
+  stats_.refinement_iterations += out.iterations;
+  health_.refinement_iterations += out.iterations;
+  if (out.residual > health_.residual_norm) health_.residual_norm = out.residual;
+  if (out.residual > stats_.residual_norm_max) {
+    stats_.residual_norm_max = out.residual;
+  }
+}
+
+void AcKernel::solve_current(const std::vector<std::complex<double>>& rhs,
+                             std::vector<std::complex<double>>& out) {
+  if (equilibrated_now_) {
+    cwork_ = rhs;
+    scale_vector(cwork_, row_scale_);
+    if (sparse_live_) {
+      slu_.solve_into(cwork_, out);
+    } else {
+      lu_.solve_into(cwork_, out);
+    }
+    scale_vector(out, col_scale_);
+  } else if (sparse_live_) {
     slu_.solve_into(rhs, out);
   } else {
     lu_.solve_into(rhs, out);
   }
   ++stats_.solves;
+  if (refine_active_) refine_in_place(rhs, out);
+}
+
+void AcKernel::solve_into(std::vector<std::complex<double>>& out) {
+  factorize();
+  solve_current(mna_.rhs(), out);
+}
+
+void AcKernel::solve_rhs(const std::vector<std::complex<double>>& rhs,
+                         std::vector<std::complex<double>>& out) {
+  solve_current(rhs, out);
 }
 
 size_t AcKernel::measured_bytes() const {
@@ -363,7 +857,10 @@ size_t AcKernel::measured_bytes() const {
   return (g_.size() + c_.size() + gs_.capacity() + cs_.capacity()) * sizeof(double) +
          (rhs0_.size() + mna_.rhs().size() + avals_.capacity()) * z +
          (mna_.matrix().size() + lu_.size() * lu_.size()) * z + lu_.size() * sizeof(size_t) +
-         pattern_.memory_bytes() + slu_.memory_bytes();
+         pattern_.memory_bytes() + slu_.memory_bytes() +
+         (row_scale_.capacity() + col_scale_.capacity() + col_sums_.capacity()) * sizeof(double) +
+         (cresid_.capacity() + cdx_.capacity() + cbest_.capacity() +
+          cwork_.capacity() + cwork2_.capacity()) * z;
 }
 
 const KernelStats& AcKernel::stats() {

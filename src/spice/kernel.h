@@ -26,6 +26,15 @@
 ///   ever breaks that contract the kernel falls back to per-point
 ///   virtual stamping and counts it in KernelStats::ac_points_virtual.
 ///
+/// Both workspaces carry the numerical-health layer (DESIGN.md section
+/// 15): every factorization tracks its pivot extremes (an O(1) growth /
+/// condition monitor), and when the ambient NumericHealthMode says so —
+/// or the monitors trip — the solve runs Hager's condition estimate,
+/// fixed-precision iterative refinement, and a recovery ladder (refine ->
+/// equilibrate-and-refactorize -> switch kernel -> the gmin ladder above)
+/// before giving up. The per-solve outcome is exposed through health()
+/// and aggregated into KernelStats.
+///
 /// Both workspaces additionally carry a *sparse* factorization path
 /// (src/util/sparse.h, DESIGN.md section 13): the stamp recorder on
 /// MnaReal/MnaComplex captures the structural slot pattern once per
@@ -153,6 +162,10 @@ public:
   /// DESIGN.md section 13).
   bool sparse_path() const { return use_sparse_; }
 
+  /// Numerical health of the last solve() (reset per solve; zero-valued
+  /// gauges mean the corresponding check did not run).
+  const NumericHealth& health() const { return health_; }
+
   /// Counters accumulated since construction; callers snapshot this into
   /// ConvergenceReport::kernel. Reading refreshes the allocation audit
   /// (workspace_bytes / workspace_regrowths).
@@ -181,6 +194,14 @@ private:
   void sync_sparse_stats();
   size_t measured_bytes() const;
 
+  // Numerical-health helpers (DESIGN.md section 15).
+  bool try_equilibrate_sparse();
+  bool try_equilibrate_dense();
+  void factor_dense();
+  void run_health_checks(bool sparse, NumericHealthMode mode);
+  void refine_current(bool sparse);
+  void record_health();
+
   Circuit* ckt_;
   size_t dim_;
   size_t n_nodes_;
@@ -204,6 +225,20 @@ private:
   bool frozen_ = false;
   bool use_sparse_ = false;
   bool sparse_bytes_settled_ = false;  ///< setup_bytes_ recomputed post-freeze
+
+  // Numerical-health state. The scratch vectors are preallocated at
+  // construction (and folded into the audited setup bytes) so even the
+  // recovery rungs run without growing the workspace.
+  NumericHealth health_;
+  std::vector<double> row_scale_;  ///< power-of-two row equilibration
+  std::vector<double> col_scale_;  ///< power-of-two column equilibration
+  std::vector<double> col_sums_;   ///< 1-norm scratch
+  std::vector<double> hresid_;     ///< refinement residual
+  std::vector<double> hdx_;        ///< refinement correction
+  std::vector<double> hbest_;      ///< refinement best-iterate rollback
+  std::vector<double> hwork_;      ///< scaled-RHS / out-of-place-solve scratch
+  std::vector<double> hwork2_;     ///< condition-estimator probe vector
+  bool equilibrated_now_ = false;  ///< current factorization is of RAC
 };
 
 // ---------------------------------------------------------------------------
@@ -250,6 +285,10 @@ public:
   /// an exact split; decided once at construction from kernel_policy()).
   bool sparse_path() const { return use_sparse_; }
 
+  /// Numerical health of the last factorize() (covers every solve made
+  /// against that factorization, including noise-analysis solve_rhs()).
+  const NumericHealth& health() const { return health_; }
+
   const KernelStats& stats();
 
   /// Flushes stats() into the thread's ambient kernel-stats sink, if any.
@@ -261,6 +300,21 @@ private:
   void stamp_virtual(double omega);
   void assemble_dense(double omega);
   size_t measured_bytes() const;
+
+  // Numerical-health helpers (DESIGN.md section 15). Refinement state is
+  // per-factorization: factorize() decides whether subsequent solves
+  // need refining, so the noise analysis' many solve_rhs() calls against
+  // one factorization are all refined consistently.
+  bool try_equilibrate_sparse();
+  bool try_equilibrate_dense();
+  void factor_dense();
+  void post_factor_health(NumericHealthMode mode);
+  void solve_current(const std::vector<std::complex<double>>& rhs,
+                     std::vector<std::complex<double>>& out);
+  void refine_in_place(const std::vector<std::complex<double>>& rhs,
+                       std::vector<std::complex<double>>& x);
+  void matvec_current(const std::vector<std::complex<double>>& v,
+                      std::vector<std::complex<double>>& y) const;
 
   Circuit* ckt_;
   size_t dim_;
@@ -286,6 +340,20 @@ private:
   bool sparse_bytes_settled_ = false;  ///< setup_bytes_ recomputed after the
                                        ///< first symbolic factorization
   double last_omega_ = 0.0;        ///< for the dense rescue re-assembly
+
+  // Numerical-health state (preallocated, see SolveWorkspace).
+  NumericHealth health_;
+  std::vector<double> row_scale_;
+  std::vector<double> col_scale_;
+  std::vector<double> col_sums_;
+  std::vector<std::complex<double>> cresid_;
+  std::vector<std::complex<double>> cdx_;
+  std::vector<std::complex<double>> cbest_;
+  std::vector<std::complex<double>> cwork_;
+  std::vector<std::complex<double>> cwork2_;
+  bool equilibrated_now_ = false;  ///< current factorization is of RAC
+  bool refine_active_ = false;     ///< refine every solve of this factorization
+  double anorm_inf_ = 0.0;         ///< inf-norm of the assembled A(omega)
 };
 
 }  // namespace ape::spice

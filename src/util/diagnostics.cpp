@@ -18,11 +18,13 @@ std::vector<std::string>& context_stack() {
 }
 
 /// The per-thread ambient job budget / solver relaxation / kernel stats
-/// sink slots (see the THREAD-SAFETY RULE in diagnostics.h: these are
-/// three of the six sanctioned thread_local instances).
+/// sink / numeric-health mode slots (see the THREAD-SAFETY RULE in
+/// diagnostics.h: these are four of the seven sanctioned thread_local
+/// instances).
 thread_local const RunBudget* g_ambient_budget = nullptr;
 thread_local const SolverRelaxation* g_ambient_relaxation = nullptr;
 thread_local KernelStats* g_ambient_kernel_sink = nullptr;
+thread_local NumericHealthMode g_ambient_health_mode = NumericHealthMode::Auto;
 
 }  // namespace
 
@@ -76,6 +78,13 @@ void KernelStats::accumulate(const KernelStats& o) {
   sparse_fallbacks += o.sparse_fallbacks;
   sparse_nnz = std::max(sparse_nnz, o.sparse_nnz);
   sparse_fill_in = std::max(sparse_fill_in, o.sparse_fill_in);
+  refinement_solves += o.refinement_solves;
+  refinement_iterations += o.refinement_iterations;
+  equilibrated_solves += o.equilibrated_solves;
+  numeric_recoveries += o.numeric_recoveries;
+  cond_estimate_max = std::max(cond_estimate_max, o.cond_estimate_max);
+  pivot_growth_max = std::max(pivot_growth_max, o.pivot_growth_max);
+  residual_norm_max = std::max(residual_norm_max, o.residual_norm_max);
 }
 
 std::string KernelStats::summary() const {
@@ -95,6 +104,16 @@ std::string KernelStats::summary() const {
        << " refactors=" << numeric_refactors
        << " nnz=" << sparse_nnz << " fill=" << sparse_fill_in;
     if (sparse_fallbacks > 0) os << " fallbacks=" << sparse_fallbacks;
+  }
+  if (refinement_solves > 0 || numeric_recoveries > 0 ||
+      equilibrated_solves > 0) {
+    os << " health: refined=" << refinement_solves
+       << " refine_iters=" << refinement_iterations
+       << " equilibrated=" << equilibrated_solves
+       << " recoveries=" << numeric_recoveries
+       << " cond_max=" << cond_estimate_max
+       << " growth_max=" << pivot_growth_max
+       << " resid_max=" << residual_norm_max;
   }
   return os.str();
 }
@@ -120,6 +139,10 @@ std::string ConvergenceReport::summary() const {
   if (step_halvings > 0) os << " halvings=" << step_halvings;
   if (convergence_vetoes > 0) os << " vetoes=" << convergence_vetoes;
   if (relaxed_tolerances) os << " relaxed";
+  if (health.refinement_iterations > 0 || health.equilibrated ||
+      health.recovered) {
+    os << " " << health.summary();
+  }
   return os.str();
 }
 
@@ -218,5 +241,16 @@ ScopedKernelStatsSink::~ScopedKernelStatsSink() {
 }
 
 KernelStats* ambient_kernel_sink() { return g_ambient_kernel_sink; }
+
+ScopedNumericHealthMode::ScopedNumericHealthMode(NumericHealthMode mode)
+    : previous_(g_ambient_health_mode) {
+  g_ambient_health_mode = mode;
+}
+
+ScopedNumericHealthMode::~ScopedNumericHealthMode() {
+  g_ambient_health_mode = previous_;
+}
+
+NumericHealthMode ambient_health_mode() { return g_ambient_health_mode; }
 
 }  // namespace ape

@@ -41,9 +41,10 @@
 /// threads — see DESIGN.md section 7): any mutable state reachable from
 /// those paths must be (a) owned by the job (locals / value members
 /// passed explicitly), (b) thread_local (this file's ErrorContext stack,
-/// ambient-budget, solver-relaxation and kernel-stats-sink slots, plus
-/// the FaultInjector slot in src/spice/fault.h and the KernelPolicy
-/// slot in src/spice/kernel.h, are the only six
+/// ambient-budget, solver-relaxation, kernel-stats-sink and
+/// numeric-health-mode slots, plus the FaultInjector slot in
+/// src/spice/fault.h and the KernelPolicy slot in src/spice/kernel.h,
+/// are the only seven
 /// instances), or (c) an explicitly synchronized shared object whose
 /// header documents that property (runtime::MemoCache, RunBudget,
 /// CancelToken, runtime::QuarantineRegistry). A worker thread starts
@@ -64,6 +65,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/util/numeric_health.h"
 
 namespace ape {
 
@@ -120,9 +123,18 @@ struct KernelStats {
   long sparse_fallbacks = 0;     ///< sparse solves rescued by the dense path
   size_t sparse_nnz = 0;         ///< structural nonzeros (max over workspaces)
   size_t sparse_fill_in = 0;     ///< L+U fill entries (max over workspaces)
+  // Numerical-health counters (DESIGN.md section 15; 0 on healthy runs).
+  long refinement_solves = 0;    ///< solves that ran iterative refinement
+  long refinement_iterations = 0;///< total refinement correction steps
+  long equilibrated_solves = 0;  ///< solves under row/column equilibration
+  long numeric_recoveries = 0;   ///< solves that landed only via a recovery
+                                 ///< rung (equilibrate / kernel switch)
+  double cond_estimate_max = 0.0;///< worst Hager 1-norm estimate (gauge)
+  double pivot_growth_max = 0.0; ///< worst pivot growth factor (gauge)
+  double residual_norm_max = 0.0;///< worst measured relative residual (gauge)
 
-  /// Merge counters from another analysis (max of workspace footprints
-  /// and sparse pattern sizes; everything else sums).
+  /// Merge counters from another analysis (max of workspace footprints,
+  /// sparse pattern sizes and health gauges; everything else sums).
   void accumulate(const KernelStats& o);
 
   /// One-line human-readable summary for logs / bench output.
@@ -160,6 +172,11 @@ struct ConvergenceReport {
   /// Compiled-kernel counters for the call (stamps skipped, in-place
   /// factorizations, workspace bytes); see KernelStats.
   KernelStats kernel;
+  /// Numerical health of the final solve (condition estimate, pivot
+  /// growth, refinement outcome; see numeric_health.h). Zero gauges mean
+  /// the solve was healthy enough that nothing beyond pivot-growth
+  /// monitoring ran.
+  NumericHealth health;
 
   /// One-line human-readable summary for logs / error messages.
   std::string summary() const;
@@ -342,5 +359,38 @@ private:
 
 /// The sink installed on this thread (nullptr when none).
 KernelStats* ambient_kernel_sink();
+
+// ---------------------------------------------------------------------------
+// Ambient (thread-local) numerical-health mode.
+
+/// How aggressively the solver workspaces run the numerical-health layer
+/// (numeric_health.h, DESIGN.md section 15).
+enum class NumericHealthMode {
+  Off,   ///< no monitoring at all (bench baseline arm)
+  Auto,  ///< monitor pivot growth; estimate condition and refine only
+         ///< when growth / condition thresholds trip (the default)
+  Force, ///< always equilibrate, estimate condition and refine — the
+         ///< supervision ladder's numeric-recovery rung
+};
+
+/// RAII installation of a NumericHealthMode on the current thread (same
+/// discipline as ScopedSolverRelaxation: nesting replaces, exit
+/// restores). The supervision ladder installs Force for its
+/// numeric-recovery rung; bench_ape_speed installs Off for its baseline
+/// timing arm.
+class ScopedNumericHealthMode {
+public:
+  explicit ScopedNumericHealthMode(NumericHealthMode mode);
+  ~ScopedNumericHealthMode();
+
+  ScopedNumericHealthMode(const ScopedNumericHealthMode&) = delete;
+  ScopedNumericHealthMode& operator=(const ScopedNumericHealthMode&) = delete;
+
+private:
+  NumericHealthMode previous_;
+};
+
+/// The mode installed on this thread (Auto when none was installed).
+NumericHealthMode ambient_health_mode();
 
 }  // namespace ape

@@ -10,9 +10,11 @@
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "src/util/error.h"
+#include "src/util/numeric_health.h"
 
 namespace ape {
 
@@ -85,6 +87,7 @@ public:
   void reserve(size_t n) {
     if (lu_.rows() != n || lu_.cols() != n) lu_ = Matrix<T>(n, n);
     pivot_.resize(n);
+    tsolve_.resize(n);
   }
 
   /// Re-factorize against \p a, reusing this solver's buffers (no
@@ -127,11 +130,52 @@ public:
     }
   }
 
+  /// Solve A^T x = b (plain transpose, no conjugation) against the same
+  /// factorization: A^T = U^T L^T P, so forward-substitute U^T, back-
+  /// substitute unit L^T, then undo the pivot permutation. Used by the
+  /// Hager condition estimator (numeric_health.h); not a hot path.
+  void solve_transposed_into(const std::vector<T>& b, std::vector<T>& x) const {
+    if (b.size() != size()) throw NumericError("LU: rhs size mismatch");
+    const size_t n = size();
+    std::vector<T>& z = tsolve_;
+    z = b;
+    // Forward substitution on U^T (diagonal from U).
+    for (size_t k = 0; k < n; ++k) {
+      z[k] /= lu_(k, k);
+      for (size_t j = k + 1; j < n; ++j) z[j] -= lu_(k, j) * z[k];
+    }
+    // Back substitution on L^T (unit diagonal).
+    for (size_t k = n; k-- > 0;) {
+      for (size_t j = 0; j < k; ++j) z[j] -= lu_(k, j) * z[k];
+    }
+    x.resize(n);
+    for (size_t i = 0; i < n; ++i) x[pivot_[i]] = z[i];
+  }
+
+  /// max_k|u_kk| / max|A| of the last successful factorization — the
+  /// O(1) pivot-growth monitor (the classic diagonal proxy: partial
+  /// pivoting bounds the multipliers by 1, so element growth surfaces in
+  /// U, and the canonical growth matrices put it on the diagonal). Large
+  /// growth means the elimination lost digits even though no pivot
+  /// collapsed (numeric_health.h thresholds).
+  double pivot_growth() const {
+    return scale_ > 0.0 ? max_pivot_ / scale_ : 0.0;
+  }
+  /// Smallest |u_kk| of the last factorization; scale / min_pivot is a
+  /// cheap condition-number lower-bound proxy (the Auto-mode trigger for
+  /// the real Hager estimate).
+  double min_pivot() const { return min_pivot_; }
+  /// max|a_ij| of the last factorized matrix (the singularity scale).
+  double max_abs_scale() const { return scale_; }
+
 private:
   void factorize_impl() {
     const size_t n = lu_.rows();
     const double scale = lu_.max_abs();
-    if (scale == 0.0) throw NumericError("LU: zero matrix");
+    scale_ = scale;
+    max_pivot_ = 0.0;
+    min_pivot_ = std::numeric_limits<double>::infinity();
+    if (scale == 0.0) throw NumericError("dense LU: zero matrix");
     for (size_t i = 0; i < n; ++i) pivot_[i] = i;
     for (size_t k = 0; k < n; ++k) {
       // Partial pivot: find the largest |a_ik| at or below the diagonal.
@@ -144,9 +188,14 @@ private:
           p = i;
         }
       }
-      if (best <= scale * 1e-300) {
-        throw NumericError("LU: matrix is singular at column " + std::to_string(k));
+      if (best <= scale * health::kSingularRelTol) {
+        throw NumericError(
+            singular_message("dense", k, n, scale, health::kSingularRelTol));
       }
+      // |u_kk| == best after the swap; track it for the O(1) growth /
+      // condition monitors (NaN-ignoring comparisons, like max_abs).
+      if (best > max_pivot_) max_pivot_ = best;
+      if (best < min_pivot_) min_pivot_ = best;
       if (p != k) {
         for (size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
         std::swap(pivot_[k], pivot_[p]);
@@ -159,10 +208,15 @@ private:
         }
       }
     }
+    tsolve_.resize(n);
   }
 
   Matrix<T> lu_;
   std::vector<size_t> pivot_;
+  mutable std::vector<T> tsolve_;  ///< transpose-solve scratch
+  double scale_ = 0.0;
+  double max_pivot_ = 0.0;
+  double min_pivot_ = 0.0;
 };
 
 using RealMatrix = Matrix<double>;

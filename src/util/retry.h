@@ -10,6 +10,12 @@
 ///   attempts 1 .. plain_retries    -> Retry     (identical re-run; a
 ///                                                transient fault may
 ///                                                simply have passed)
+///   next numeric_recovery_retries  -> NumericRecovery (re-run under
+///                                                NumericHealthMode::Force:
+///                                                equilibration, condition
+///                                                estimation and iterative
+///                                                refinement on every solve
+///                                                — DESIGN.md section 15)
 ///   next relaxed_retries attempts  -> Relaxed   (ScopedSolverRelaxation:
 ///                                                widened tolerances,
 ///                                                higher gmin floor)
@@ -38,11 +44,12 @@ namespace ape {
 
 /// The escalation rung an attempt runs at (see file comment).
 enum class RetryRung {
-  Initial,       ///< attempt 0, normal configuration
-  Retry,         ///< plain re-run
-  Relaxed,       ///< re-run under ScopedSolverRelaxation
-  EstimateOnly,  ///< APE estimate fallback, no synthesis / simulation
-  Fail,          ///< ladder exhausted
+  Initial,          ///< attempt 0, normal configuration
+  Retry,            ///< plain re-run
+  NumericRecovery,  ///< re-run under NumericHealthMode::Force
+  Relaxed,          ///< re-run under ScopedSolverRelaxation
+  EstimateOnly,     ///< APE estimate fallback, no synthesis / simulation
+  Fail,             ///< ladder exhausted
 };
 
 const char* to_string(RetryRung rung);
@@ -50,6 +57,11 @@ const char* to_string(RetryRung rung);
 struct RetryPolicy {
   /// Plain re-runs after the initial attempt (rung Retry).
   int plain_retries = 0;
+  /// Re-runs under forced numerical-health recovery (rung
+  /// NumericRecovery): equilibration + condition estimate + iterative
+  /// refinement on every solve. Default 0 keeps existing ladders
+  /// unchanged; the batch / serve entry points enable one rung.
+  int numeric_recovery_retries = 0;
   /// Re-runs under relaxed solver tolerances (rung Relaxed).
   int relaxed_retries = 0;
   /// Final rung: fall back to the bare APE estimate when every synthesis

@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "src/util/numeric_health.h"
+
 namespace ape {
 
 namespace {
@@ -185,7 +187,9 @@ void SparseLu<T>::order_and_factor(const SparsePattern& pattern, const std::vect
           }
         }
         if (nf_i < 0) {
-          throw NumericError("sparse LU: matrix is singular at step " + std::to_string(k));
+          throw NumericError(singular_message("sparse", static_cast<size_t>(k),
+                                              n_, scale,
+                                              health::kSingularRelTol));
         }
         bi = nf_i;
         bj = nf_j;
@@ -314,17 +318,25 @@ void SparseLu<T>::refactor(const std::vector<T>& values) {
     const double m = std::abs(values[slot]);
     if (m > scale) scale = m;
   }
+  scale_ = scale;
+  max_pivot_ = 0.0;
+  min_pivot_ = std::numeric_limits<double>::infinity();
   if (scale == 0.0) throw NumericError("sparse LU: zero matrix");
   const int n = static_cast<int>(n_);
   for (int k = 0; k < n; ++k) {
     const T piv = f_vals_[f_diag_[k]];
+    const double apiv = std::abs(piv);
     // Same collapse threshold as the dense solver; non-finite pivots
     // pass (the comparison is false) and propagate to the all_finite
     // check downstream, keeping fault-probe semantics identical.
-    if (std::abs(piv) <= scale * 1e-300) {
-      throw NumericError("sparse LU: pivot collapse at step " + std::to_string(k) +
-                         " (stale ordering or singular system)");
+    if (apiv <= scale * health::kSingularRelTol) {
+      throw NumericError(singular_message("sparse", static_cast<size_t>(k), n_,
+                                          scale, health::kSingularRelTol));
     }
+    // O(1) pivot tracking for the growth / condition monitors
+    // (NaN-ignoring comparisons, like the scale scan above).
+    if (apiv > max_pivot_) max_pivot_ = apiv;
+    if (apiv < min_pivot_) min_pivot_ = apiv;
     const int ub = f_diag_[k] + 1;
     const int ulen = f_row_ptr_[k + 1] - ub;
     const T* urow = f_vals_.data() + ub;
@@ -363,6 +375,32 @@ void SparseLu<T>::solve_into(const std::vector<T>& b, std::vector<T>& x) const {
   }
   x.resize(n_);
   for (int q = 0; q < n; ++q) x[col_orig_[q]] = y_[q];
+}
+
+template <typename T>
+void SparseLu<T>::solve_transposed_into(const std::vector<T>& b, std::vector<T>& x) const {
+  if (!factorized_) throw NumericError("sparse LU: not factorized");
+  if (b.size() != n_) throw NumericError("sparse LU: rhs size mismatch");
+  const int n = static_cast<int>(n_);
+  y_.resize(n_);
+  // A = R^-1 L U C (R gathers permuted rows, C permuted columns), so
+  // A^T x = b solves as: w = C b, U^T t = w, L^T z = t, x = R^T z.
+  for (int q = 0; q < n; ++q) y_[q] = b[col_orig_[q]];
+  // Forward substitution on U^T: finalize y_[k], push to later columns.
+  for (int k = 0; k < n; ++k) {
+    y_[k] /= f_vals_[f_diag_[k]];
+    for (int slot = f_diag_[k] + 1; slot < f_row_ptr_[k + 1]; ++slot) {
+      y_[f_cols_[slot]] -= f_vals_[slot] * y_[k];
+    }
+  }
+  // Back substitution on L^T (unit diagonal): descending, push style.
+  for (int k = n - 1; k >= 0; --k) {
+    for (int slot = f_row_ptr_[k]; slot < f_diag_[k]; ++slot) {
+      y_[f_cols_[slot]] -= f_vals_[slot] * y_[k];
+    }
+  }
+  x.resize(n_);
+  for (int p = 0; p < n; ++p) x[row_orig_[p]] = y_[p];
 }
 
 template <typename T>

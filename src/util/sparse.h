@@ -134,8 +134,25 @@ public:
   /// \p b and \p x must not alias. Requires a successful factorize().
   void solve_into(const std::vector<T>& b, std::vector<T>& x) const;
 
+  /// Solve A^T x = b (plain transpose, no conjugation) against the same
+  /// factorization — the Hager condition-estimator probe
+  /// (numeric_health.h). Not a hot path. \p b and \p x must not alias.
+  void solve_transposed_into(const std::vector<T>& b, std::vector<T>& x) const;
+
   size_t size() const { return n_; }
   const SparseLuStats& stats() const { return stats_; }
+
+  /// max_k|u_kk| / max|a| of the last refactor — the O(1) diagonal
+  /// pivot-growth monitor used by the numerical-health layer (same proxy
+  /// as LuSolver::pivot_growth).
+  double pivot_growth() const {
+    return scale_ > 0.0 ? max_pivot_ / scale_ : 0.0;
+  }
+  /// Smallest |u_kk| of the last refactor; scale / min_pivot is the
+  /// cheap condition-number lower-bound trigger.
+  double min_pivot() const { return min_pivot_; }
+  /// max|a_ij| of the last refactored values (the singularity scale).
+  double max_abs_scale() const { return scale_; }
 
   /// Bytes of owned storage (for the workspace allocation audit).
   size_t memory_bytes() const;
@@ -184,6 +201,9 @@ private:
 
   mutable std::vector<T> y_;      ///< permuted solve scratch
   SparseLuStats stats_;
+  double scale_ = 0.0;
+  double max_pivot_ = 0.0;
+  double min_pivot_ = 0.0;
 };
 
 extern template class SparseLu<double>;

@@ -177,6 +177,85 @@ TEST(FaultInjection, VetoOnBothPlansSurfacesError) {
   EXPECT_EQ(fi.counts().injected_vetoes, 2);
 }
 
+// --- Numerical-health probes: refine / equilibrate / condest faults ---------
+
+/// The extreme-spread divider (the committed
+/// examples/circuits/extreme_spread_divider.sp fixture, built
+/// programmatically): 1e3 S next to 1e-9 S, cond ~ 5e11, so ambient
+/// Auto mode estimates the condition number and refines every solve.
+void build_spread_divider(Circuit& ckt) {
+  ckt.add<VSource>("vin", ckt.node("in"), kGround, dcv(1.0));
+  ckt.add<Resistor>("r1", ckt.node("in"), ckt.node("mid"), 1e-3);
+  ckt.add<Resistor>("r2", ckt.node("mid"), ckt.node("out"), 1e9);
+  ckt.add<Resistor>("r3", ckt.node("out"), kGround, 1e9);
+}
+
+TEST(FaultInjection, RefineDivergenceEscalatesToEquilibrationAndLands) {
+  Circuit ckt("spread-divider");
+  build_spread_divider(ckt);
+  FaultInjector fi;
+  fi.refine_diverge(0, 1);  // first refinement "diverges"
+  ScopedFaultInjection scope(fi);
+
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  const auto sol = dc_operating_point(ckt, opts);
+
+  // Containment: the injected divergence walks the in-kernel ladder —
+  // equilibrate, refactorize, refine again — and the answer still lands.
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(fi.counts().injected_refine_diverge, 1);
+  EXPECT_GE(rep.kernel.numeric_recoveries, 1L) << rep.kernel.summary();
+  EXPECT_GE(rep.kernel.equilibrated_solves, 1L);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 0.5, 1e-2);
+}
+
+TEST(FaultInjection, EquilibrationOverflowFaultDegradesGracefully) {
+  Circuit ckt("spread-divider");
+  build_spread_divider(ckt);
+  FaultInjector fi;
+  fi.equilibrate_overflow(0, 1000);  // every equilibration "overflows"
+  ScopedFaultInjection scope(fi);
+
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  // Even the Force rung must survive equilibration being unavailable:
+  // it falls back to refining the unscaled factorization.
+  ScopedNumericHealthMode force(NumericHealthMode::Force);
+  const auto sol = dc_operating_point(ckt, opts);
+
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(fi.counts().injected_equilibrate_overflow, 0);
+  EXPECT_FALSE(rep.health.equilibrated) << rep.health.summary();
+  EXPECT_GT(rep.kernel.refinement_solves, 0L);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 0.5, 1e-2);
+}
+
+TEST(FaultInjection, CondEstimateFaultStillForcesRefinement) {
+  Circuit ckt("spread-divider");
+  build_spread_divider(ckt);
+  FaultInjector fi;
+  fi.cond_estimate_fail(0, 1000);  // every condest probe fails
+  ScopedFaultInjection scope(fi);
+
+  ConvergenceReport rep;
+  DcOptions opts;
+  opts.report = &rep;
+  const auto sol = dc_operating_point(ckt, opts);
+
+  // A failed estimate reads as "unknown, assume the worst": the +inf
+  // estimate fails the healthy-side comparison, so refinement still
+  // runs and the solve still lands at the right answer.
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(fi.counts().injected_cond_fails, 0);
+  EXPECT_TRUE(std::isinf(rep.health.cond_estimate))
+      << rep.health.summary();
+  EXPECT_GT(rep.kernel.refinement_solves, 0L);
+  EXPECT_NEAR(node_voltage(ckt, sol, "out"), 0.5, 1e-2);
+}
+
 // --- dc_sweep: a mid-sweep failure names the failing sweep value ------------
 
 TEST(FaultInjection, DcSweepFailureNamesFailingValue) {
